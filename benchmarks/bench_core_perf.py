@@ -1,0 +1,83 @@
+"""Performance microbenchmarks of the hot paths.
+
+These are classic pytest-benchmark measurements (multiple rounds): the
+per-candidate evaluation kernels, a full HOP at Internet scale, AgRank
+ranking, and the synthetic-latency substrate.  They guard against
+regressions in the code the experiments spend their time in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.agrank import AgRankConfig, rank_agents
+from repro.core.fastpath import ConferenceProfile
+from repro.core.markov import MarkovAssignmentSolver, MarkovConfig
+from repro.core.nearest import nearest_assignment
+from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.netsim.latency import LatencyModel
+from repro.netsim.sites import region, sample_user_sites
+from repro.workloads.scenarios import scenario_conference
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    conference = scenario_conference(seed=42)
+    evaluator = ObjectiveEvaluator(
+        conference, ObjectiveWeights.normalized_for(conference)
+    )
+    return conference, evaluator
+
+
+def test_perf_session_usage_kernel(benchmark, scenario):
+    conference, evaluator = scenario
+    profile = evaluator.profile
+    assignment = nearest_assignment(conference)
+    benchmark(
+        profile.session_usage, assignment.user_agent, assignment.task_agent, 0
+    )
+
+
+def test_perf_session_delay_kernel(benchmark, scenario):
+    conference, evaluator = scenario
+    profile = evaluator.profile
+    assignment = nearest_assignment(conference)
+    benchmark(
+        profile.session_delays, assignment.user_agent, assignment.task_agent, 0
+    )
+
+
+def test_perf_full_hop_internet_scale(benchmark, scenario):
+    conference, evaluator = scenario
+    solver = MarkovAssignmentSolver(
+        evaluator,
+        nearest_assignment(conference),
+        config=MarkovConfig(beta=32.0),
+        rng=np.random.default_rng(0),
+    )
+    sids = solver.context.active_sessions
+
+    counter = iter(range(10**9))
+
+    def one_hop():
+        solver.session_hop(sids[next(counter) % len(sids)])
+
+    benchmark(one_hop)
+
+
+def test_perf_agrank_ranking(benchmark, scenario):
+    conference, _evaluator = scenario
+    benchmark(rank_agents, conference, 0, None, AgRankConfig(n_ngbr=3))
+
+
+def test_perf_profile_construction(benchmark, scenario):
+    conference, _evaluator = scenario
+    benchmark(ConferenceProfile, conference)
+
+
+def test_perf_latency_synthesis(benchmark):
+    regions = [region(n) for n in ("Virginia", "Oregon", "Tokyo", "Singapore")]
+    sites = sample_user_sites(64, np.random.default_rng(0))
+    model = LatencyModel(seed=1)
+    benchmark(model.agent_user_matrix, regions, sites)

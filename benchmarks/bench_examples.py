@@ -1,0 +1,30 @@
+"""Bench: Fig. 2 — the motivating example, checked exactly.
+
+Not an evaluation figure, but the paper's core argument in miniature: the
+nearest assignment of user 4 (SG) is dominated by the session-aware choice
+(TO) on both delay and traffic, while SG still wins on transcoding
+latency — the tension UAP resolves jointly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig2_motivating import run_fig2
+
+
+def test_fig2_motivating(benchmark):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    print()
+    print(result.format_report())
+
+    assert result.nearest_agent_of_user4 == "SG"
+    traffic = {row["assignment of user 4"]: row["traffic (Mbps)"] for row in result.rows}
+    delay = {row["assignment of user 4"]: row["delay cost F (ms)"] for row in result.rows}
+    assert traffic["TO (session-aware)"] < traffic["SG (nearest)"]
+    assert delay["TO (session-aware)"] < delay["SG (nearest)"]
+    assert result.sg_transcode_ms < result.to_transcode_ms
+    # The exact optimum consolidates the session: zero inter-agent traffic.
+    assert result.optimal_traffic == 0.0
+
+    benchmark.extra_info["traffic_SG"] = traffic["SG (nearest)"]
+    benchmark.extra_info["traffic_TO"] = traffic["TO (session-aware)"]
+    benchmark.extra_info["optimal_traffic"] = result.optimal_traffic

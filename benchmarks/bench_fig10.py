@@ -1,0 +1,42 @@
+"""Bench: Fig. 10 — the impact of n_ngbr on AgRank's initial assignment.
+
+Paper shape: n_ngbr = 1 (equivalent to Nrst) gives the highest traffic;
+traffic falls monotonically as the candidate pool grows; delay rises
+towards n_ngbr = L, where whole sessions share one agent.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_scenarios
+from repro.experiments.fig10_nngbr import run_fig10
+
+
+def test_fig10_nngbr_sweep(benchmark):
+    count = bench_scenarios(6)
+    result = benchmark.pedantic(
+        lambda: run_fig10(num_scenarios=count), rounds=1, iterations=1
+    )
+    print()
+    print(result.format_report())
+
+    ns = sorted(result.points)
+    traffic = [result.points[n][0] for n in ns]
+    delay = [result.points[n][1] for n in ns]
+
+    # Shape: n=1 (== Nrst) is the traffic-worst point and n=L the best;
+    # the trend is decreasing (local bumps at small sample counts are
+    # tolerated — candidate pools change discretely with n).
+    assert traffic[0] == max(traffic)
+    assert traffic[-1] == min(traffic)
+    half = len(traffic) // 2
+    assert sum(traffic[half:]) / len(traffic[half:]) < sum(traffic[:half]) / half
+    # Shape: single-agent sessions (n = L) pay the delay price.
+    assert delay[-1] >= delay[0]
+    # Shape: n = L drives inter-agent traffic to (near) zero.
+    assert traffic[-1] < 0.05 * traffic[0]
+
+    benchmark.extra_info["scenarios"] = count
+    benchmark.extra_info["traffic_n1"] = traffic[0]
+    benchmark.extra_info["traffic_nL"] = traffic[-1]
+    benchmark.extra_info["delay_n1"] = delay[0]
+    benchmark.extra_info["delay_nL"] = delay[-1]

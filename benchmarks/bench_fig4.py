@@ -1,0 +1,70 @@
+"""Bench: Fig. 4 — traffic/delay evolution of Alg. 1, beta in {200, 400}.
+
+Regenerates both panels' series and checks the paper shape: traffic and
+delay drop from the Nrst level, and the larger beta converges at least as
+low with smaller steady-state fluctuations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig4_convergence import run_fig4
+
+
+def _report(result) -> None:
+    print()
+    print(result.format_report())
+    for beta, bundle in sorted(result.bundles.items()):
+        times, traffic = bundle.get("traffic")
+        series = ", ".join(
+            f"{t:.0f}s:{v:.0f}" for t, v in zip(times[::20], traffic[::20])
+        )
+        print(f"  traffic series (beta={beta:g}): {series}")
+
+
+def test_fig4_convergence(benchmark, prototype_seed):
+    result = benchmark.pedantic(
+        lambda: run_fig4(seed=prototype_seed),
+        rounds=1,
+        iterations=1,
+    )
+    _report(result)
+
+    sim200 = result.simulations[200.0]
+    sim400 = result.simulations[400.0]
+    # Shape: both betas cut traffic substantially below the Nrst level.
+    for sim in (sim200, sim400):
+        assert sim.steady_state_mean("traffic") < 0.5 * sim.initial_value("traffic")
+    # Shape: beta=400 converges at least as low as beta=200.
+    assert sim400.steady_state_mean("traffic") <= sim200.steady_state_mean(
+        "traffic"
+    ) * 1.05
+    # Shape: delay stays in the same regime (the win-win claim).
+    for sim in (sim200, sim400):
+        assert sim.steady_state_mean("delay") < 1.2 * sim.initial_value("delay")
+
+    benchmark.extra_info["traffic0_mbps"] = sim400.initial_value("traffic")
+    benchmark.extra_info["traffic_ss_beta400"] = sim400.steady_state_mean("traffic")
+    benchmark.extra_info["traffic_ss_beta200"] = sim200.steady_state_mean("traffic")
+    benchmark.extra_info["delay_ss_beta400"] = sim400.steady_state_mean("delay")
+
+
+def test_fig4_fluctuation_contrast(benchmark, prototype_seed):
+    """Lower beta keeps larger steady-state fluctuations (averaged over
+    seeds — single trajectories are noisy)."""
+
+    def run():
+        spreads = {200.0: [], 400.0: []}
+        for seed in (prototype_seed, prototype_seed + 1, prototype_seed + 2):
+            result = run_fig4(seed=seed, duration_s=160.0)
+            for beta, sim in result.simulations.items():
+                times, values = sim.series("traffic")
+                tail = values[times >= 120.0]
+                spreads[beta].append(float(tail.std()))
+        return {beta: float(np.mean(v)) for beta, v in spreads.items()}
+
+    spreads = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nFig. 4 steady-state traffic std: beta=200 -> {spreads[200.0]:.2f}, "
+          f"beta=400 -> {spreads[400.0]:.2f} (paper: beta=200 fluctuates more)")
+    assert spreads[400.0] <= spreads[200.0] * 1.25

@@ -1,0 +1,33 @@
+"""Bench: Fig. 5 — Alg. 1 under session arrival (t=40 s) and departure
+(t=80 s)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig5_dynamics import run_fig5
+
+
+def test_fig5_dynamics(benchmark, prototype_seed):
+    result = benchmark.pedantic(
+        lambda: run_fig5(seed=prototype_seed), rounds=1, iterations=1
+    )
+    print()
+    print(result.format_report())
+
+    rows = {row["phase"]: row for row in result.phase_rows()}
+    initial = rows["initial (6 sessions)"]
+    arrival = rows["after arrival (10)"]
+    departure = rows["after departure (7)"]
+
+    # Shape: the arrival bumps traffic above the pre-arrival converged
+    # level; the algorithm then re-converges downwards.
+    assert arrival["traffic@start"] > initial["traffic@end"]
+    assert arrival["traffic@end"] < arrival["traffic@start"]
+    # Shape: the departure drops traffic below the pre-departure level.
+    assert departure["traffic@start"] < arrival["traffic@end"]
+    # Session counts follow the schedule.
+    assert initial["sessions"] == 6.0
+    assert arrival["sessions"] == 10.0
+    assert departure["sessions"] == 7.0
+
+    benchmark.extra_info["traffic_after_arrival"] = arrival["traffic@start"]
+    benchmark.extra_info["traffic_after_departure"] = departure["traffic@start"]

@@ -1,0 +1,31 @@
+"""Bench: Fig. 6 — Alg. 1 bootstrapped by AgRank (n_ngbr = 2).
+
+Paper shape: AgRank's initial traffic is well below Nrst's, and the level
+reached by 100 s matches what the Nrst bootstrap needed 200 s for.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6_agrank_init import run_fig6
+
+
+def test_fig6_agrank_bootstrap(benchmark, prototype_seed):
+    result = benchmark.pedantic(
+        lambda: run_fig6(seed=prototype_seed), rounds=1, iterations=1
+    )
+    print()
+    print(result.format_report())
+
+    _, traffic = result.bundle.get("traffic")
+    agrank_initial = float(traffic[0])
+    agrank_100s = result.simulation.steady_state_mean("traffic")
+
+    # Shape: AgRank start well below the Nrst start (paper: 15 vs 22 Mbps).
+    assert agrank_initial < 0.7 * result.nrst_initial_traffic
+    # Shape: AgRank's 100 s level is comparable to Nrst's 200 s level.
+    assert agrank_100s <= result.nrst_200s_traffic * 1.25
+
+    benchmark.extra_info["agrank_initial_mbps"] = agrank_initial
+    benchmark.extra_info["nrst_initial_mbps"] = result.nrst_initial_traffic
+    benchmark.extra_info["agrank_100s_mbps"] = agrank_100s
+    benchmark.extra_info["nrst_200s_mbps"] = result.nrst_200s_traffic

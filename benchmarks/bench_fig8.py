@@ -1,0 +1,37 @@
+"""Bench: Fig. 8 — conferencing-delay box plots across the alpha sweep.
+
+Paper shape: per panel (Nrst / AgRank initialization), the delay-only
+boxes sit lowest, traffic-only highest, the hybrid close to delay-only.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_scenarios
+from repro.experiments.fig8_delay_boxplot import run_fig8
+
+
+def test_fig8_delay_boxes(benchmark):
+    count = bench_scenarios(3)
+    result = benchmark.pedantic(
+        lambda: run_fig8(num_scenarios=count), rounds=1, iterations=1
+    )
+    print()
+    print(result.format_report())
+
+    for policy in ("nearest", "agrank"):
+        delay_only = result.boxes[(policy, "a2=0 (delay only)")]
+        hybrid = result.boxes[(policy, "a1=a2")]
+        traffic_only = result.boxes[(policy, "a1=0 (traffic only)")]
+        # Shape: traffic-only is the worst-delay box by a clear margin.
+        assert traffic_only.median > hybrid.median
+        assert traffic_only.median > delay_only.median
+        # Shape: hybrid stays close to delay-only (the win-win argument).
+        assert hybrid.median <= delay_only.median * 1.15
+
+    benchmark.extra_info["scenarios"] = count
+    benchmark.extra_info["nrst_hybrid_median_ms"] = result.boxes[
+        ("nearest", "a1=a2")
+    ].median
+    benchmark.extra_info["agrank_hybrid_median_ms"] = result.boxes[
+        ("agrank", "a1=a2")
+    ].median

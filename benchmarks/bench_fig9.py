@@ -1,0 +1,50 @@
+"""Bench: Fig. 9 — bootstrap success rate under capacity limits.
+
+Paper shape: success rises with capacity; AgRank#3 >= AgRank#2 >> Nrst
+(the resource-oblivious nearest policy admits almost nothing where the
+capacity-aware rankings already admit most scenarios).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_scenarios
+from repro.experiments.fig9_success_rate import run_fig9
+
+
+def test_fig9_success_rates(benchmark):
+    count = bench_scenarios(10)
+    result = benchmark.pedantic(
+        lambda: run_fig9(num_scenarios=count), rounds=1, iterations=1
+    )
+    print()
+    print(result.format_report())
+
+    for panel in ("bandwidth", "transcode"):
+        rates = result.rates[panel]
+        capacities = sorted(rates)
+        for label in ("Nrst", "AgRank#2", "AgRank#3"):
+            series = [rates[c][label] for c in capacities]
+            # Shape: success is (weakly) increasing in capacity, allowing
+            # small-sample wiggle.
+            assert series[-1] >= series[0]
+            diffs = np.diff(series)
+            assert (diffs >= -100.0 / count).all()
+        # Shape: mean ordering AgRank#3 >= AgRank#2 >= Nrst.
+        mean = {
+            label: float(np.mean([rates[c][label] for c in capacities]))
+            for label in ("Nrst", "AgRank#2", "AgRank#3")
+        }
+        assert mean["AgRank#3"] >= mean["AgRank#2"] - 100.0 / count
+        assert mean["AgRank#2"] >= mean["Nrst"]
+        assert mean["AgRank#3"] > mean["Nrst"]
+
+    top_bw = max(result.rates["bandwidth"])
+    benchmark.extra_info["scenarios"] = count
+    benchmark.extra_info["agrank3_at_top_bandwidth"] = result.rates["bandwidth"][
+        top_bw
+    ]["AgRank#3"]
+    benchmark.extra_info["nrst_at_top_bandwidth"] = result.rates["bandwidth"][
+        top_bw
+    ]["Nrst"]

@@ -1,0 +1,37 @@
+"""Bench: A7 — Alg. 1 robustness to noisy measurements (Sec. IV-A.4).
+
+The paper's robustness claim made empirical: under bounded observation
+noise Delta on the session objective, Alg. 1 still finds near-clean
+solutions, degrading gracefully with Delta (Theorem 1's story at system
+scale).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.noise_robustness import run_noise_robustness
+
+
+def test_a7_noise_robustness(benchmark, prototype_seed):
+    result = benchmark.pedantic(
+        lambda: run_noise_robustness(seed=prototype_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format_report())
+
+    deltas = sorted(result.points)
+    phis = [result.points[d][0] for d in deltas]
+
+    # Every noisy run still lands far below the Nrst initial objective.
+    assert all(phi < 0.8 * result.initial_phi for phi in phis)
+    # Small noise (Delta <= 0.05 in per-session phi units, i.e. ~5 % of a
+    # typical session objective) costs at most ~15 % quality.
+    for delta, phi in zip(deltas, phis):
+        if delta <= 0.05:
+            assert phi <= result.clean_phi * 1.15
+    # Degradation is bounded even at the largest Delta tested.
+    assert phis[-1] <= result.clean_phi * 1.6
+
+    benchmark.extra_info["clean_phi"] = result.clean_phi
+    benchmark.extra_info["worst_phi"] = phis[-1]

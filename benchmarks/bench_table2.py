@@ -1,0 +1,56 @@
+"""Bench: Table II — the impact of the design parameters alpha.
+
+Regenerates the paper's table (means over random Internet-scale
+scenarios; ``REPRO_SCENARIOS=100`` for the paper's full scale) and checks
+its headline shapes:
+
+* Alg.1 + AgRank under the hybrid mix cuts traffic massively vs the Nrst
+  initial (paper: -77 %) at comparable delay (paper: -2 %);
+* AgRank alone already cuts most of it (paper: -73 %);
+* the traffic-only mix yields the highest delay; the delay-only mix the
+  lowest delay.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_scenarios
+from repro.experiments.table2_alpha import run_table2
+
+
+def test_table2_alpha_sweep(benchmark):
+    count = bench_scenarios(3)
+    result = benchmark.pedantic(
+        lambda: run_table2(num_scenarios=count), rounds=1, iterations=1
+    )
+    print()
+    print(result.format_report())
+
+    cells = result.cells
+    nrst_init_traffic, nrst_init_delay = cells[("nearest", "init")]
+    hybrid_traffic, hybrid_delay = cells[("agrank", "a1=a2")]
+    agrank_init_traffic, _ = cells[("agrank", "init")]
+
+    # Headline: Alg.1 + AgRank (hybrid) cuts traffic by more than half
+    # (paper: 77 %) with delay within 10 % of the Nrst initial.
+    assert hybrid_traffic < 0.5 * nrst_init_traffic
+    assert hybrid_delay < 1.1 * nrst_init_delay
+
+    # AgRank initialization alone is a large cut (paper: 73 %).
+    assert agrank_init_traffic < 0.6 * nrst_init_traffic
+
+    # Trade-off directions across the alpha mixes (both init policies).
+    for policy in ("nearest", "agrank"):
+        delay_only = cells[(policy, "a2=0 (delay only)")]
+        traffic_only = cells[(policy, "a1=0 (traffic only)")]
+        hybrid = cells[(policy, "a1=a2")]
+        assert delay_only[1] <= hybrid[1] + 2.0  # delay-only: lowest delay
+        assert traffic_only[1] >= hybrid[1]  # traffic-only: highest delay
+        assert traffic_only[0] <= delay_only[0]  # and lowest traffic
+
+    benchmark.extra_info["scenarios"] = count
+    benchmark.extra_info["traffic_cut_pct"] = round(
+        100 * (1 - hybrid_traffic / nrst_init_traffic), 1
+    )
+    benchmark.extra_info["delay_change_pct"] = round(
+        100 * (hybrid_delay / nrst_init_delay - 1), 1
+    )

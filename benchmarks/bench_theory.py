@@ -1,0 +1,100 @@
+"""Bench: Fig. 3 + the Sec. IV-A theory (A1/A2 validation experiments).
+
+* A1 — Eq. (9)/(10)/(12): exact stationary distributions of the realized
+  chain vs the Gibbs target, and the optimality-gap bound across betas;
+* A2 — Theorem 1 / Eq. (11)/(13): the perturbed chain under the quantized
+  noise model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.core.theory import (
+    build_state_space,
+    expected_phi,
+    gibbs_distribution,
+    optimality_gap_bound,
+    perturbed_stationary,
+    eq13_bound,
+)
+from repro.experiments.fig3_theory import run_fig3
+from repro.netsim.noise import QuantizedPerturbation
+from repro.workloads.toy import toy_conference
+
+
+def test_fig3_toy_chain(benchmark):
+    result = benchmark.pedantic(lambda: run_fig3(beta=6.0), rounds=1, iterations=1)
+    print()
+    print(result.format_report())
+
+    assert result.num_states == 8  # Fig. 3(a)
+    assert result.tv_metropolis_rule < 1e-8  # exact detailed balance
+    assert result.eq10_lower <= result.eq10_phi_hat <= result.eq10_upper
+    assert 0.0 <= result.eq12_gap <= result.eq12_bound
+    assert 0.0 <= result.eq13_gap <= result.eq13_bound_value
+
+    benchmark.extra_info["tv_paper_rule"] = result.tv_paper_rule
+    benchmark.extra_info["tv_metropolis_rule"] = result.tv_metropolis_rule
+
+
+def test_a1_gap_bound_across_betas(benchmark):
+    """Eq. (12): the Gibbs gap obeys (U + theta_sum) log L / beta, and the
+    bound tightens as beta grows."""
+
+    def run():
+        conference = toy_conference()
+        evaluator = ObjectiveEvaluator(
+            conference, ObjectiveWeights.normalized_for(conference)
+        )
+        space = build_state_space(evaluator)
+        rows = []
+        for beta in (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0):
+            gibbs = gibbs_distribution(space.phis, beta)
+            gap = expected_phi(gibbs, space.phis) - space.phi_min
+            bound = optimality_gap_bound(conference, beta)
+            rows.append((beta, gap, bound))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nA1 - Eq. (12) gap vs bound:")
+    print(f"{'beta':>6}  {'gap':>10}  {'bound':>10}")
+    for beta, gap, bound in rows:
+        print(f"{beta:6.1f}  {gap:10.4f}  {bound:10.4f}")
+        assert 0.0 <= gap <= bound + 1e-12
+    gaps = [gap for _, gap, _ in rows]
+    assert gaps[-1] <= gaps[0]  # larger beta -> smaller gap
+
+
+def test_a2_perturbed_chain(benchmark):
+    """Theorem 1: the perturbed stationary distribution degrades
+    gracefully with Delta and respects Eq. (13)."""
+
+    def run():
+        conference = toy_conference()
+        evaluator = ObjectiveEvaluator(
+            conference, ObjectiveWeights.normalized_for(conference)
+        )
+        space = build_state_space(evaluator)
+        beta = 10.0
+        rows = []
+        for delta in (0.0, 0.05, 0.1, 0.2, 0.4):
+            perturbations = [QuantizedPerturbation(delta=delta, levels=4)] * len(
+                space
+            )
+            p_bar = perturbed_stationary(space.phis, beta, perturbations)
+            gap = expected_phi(p_bar, space.phis) - space.phi_min
+            rows.append((delta, gap, eq13_bound(conference, beta, delta)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nA2 - Theorem 1 perturbed gap vs Eq. (13) bound:")
+    print(f"{'delta':>6}  {'gap':>10}  {'bound':>10}")
+    gaps = []
+    for delta, gap, bound in rows:
+        print(f"{delta:6.2f}  {gap:10.4f}  {bound:10.4f}")
+        assert 0.0 <= gap <= bound + 1e-12
+        gaps.append(gap)
+    # More noise never helps (weakly increasing gap over delta).
+    assert all(b >= a - 1e-9 for a, b in zip(gaps, gaps[1:]))

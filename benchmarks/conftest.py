@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one of the paper's tables/figures and prints the
+paper-shaped rows (run with ``pytest benchmarks/ --benchmark-only -s`` to
+see them).  Scale knobs:
+
+* ``REPRO_SCENARIOS`` — random scenarios per Internet-scale data point
+  (the paper uses 100; benches default to a small, laptop-friendly count);
+* each bench also asserts the paper's *shape* (who wins, direction of
+  trends), so the suite doubles as a reproduction check.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scenarios(default: int) -> int:
+    """Scenario count for Internet-scale benches (env-overridable)."""
+    raw = os.environ.get("REPRO_SCENARIOS", "")
+    return int(raw) if raw else default
+
+
+@pytest.fixture(scope="session")
+def prototype_seed() -> int:
+    return 7

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Anatomy of the Markov approximation on the Fig. 3 toy instance.
+
+Enumerates the 8 feasible states of the 2-user / 2-agent / 1-task
+conference, prints the objective landscape and the hop-probability matrix
+of Alg. 1, then compares three distributions over states:
+
+* the Gibbs target ``p* ∝ exp(-beta * Phi)``        (Eq. 9);
+* the exact stationary distribution of the paper's HOP rule;
+* the exact stationary distribution of the Metropolis variant.
+
+This makes the reproduction finding visible: the pseudocode's normalized
+HOP rule is close to — but not exactly — the Gibbs distribution, while the
+Hastings-corrected variant matches it to machine precision.
+
+Run:  python examples/markov_chain_anatomy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ObjectiveEvaluator, ObjectiveWeights
+from repro.core.theory import (
+    build_state_space,
+    generator_matrix,
+    gibbs_distribution,
+    simulate_occupancy,
+    stationary_distribution,
+    total_variation,
+)
+from repro.workloads.toy import toy_conference
+
+BETA = 6.0
+
+
+def main() -> None:
+    conference = toy_conference()
+    evaluator = ObjectiveEvaluator(
+        conference, ObjectiveWeights.normalized_for(conference)
+    )
+    space = build_state_space(evaluator)
+
+    print(f"Feasible states of the Fig. 3 instance ({len(space)} = 2^3):\n")
+    print(f"{'#':>2}  {'U1':>3} {'U2':>3} {'T':>3}  {'Phi':>8}")
+    for i, assignment in enumerate(space.assignments):
+        print(
+            f"{i:>2}  {assignment.agent_of(0):>3} {assignment.agent_of(1):>3} "
+            f"{assignment.task_agent_of(0):>3}  {space.phis[i]:8.4f}"
+        )
+
+    gibbs = gibbs_distribution(space.phis, BETA)
+    pi_paper = stationary_distribution(
+        generator_matrix(conference, space, BETA, rule="paper")
+    )
+    pi_metro = stationary_distribution(
+        generator_matrix(conference, space, BETA, rule="metropolis")
+    )
+    occupancy = simulate_occupancy(
+        evaluator,
+        space,
+        space.assignments[0],
+        beta=BETA,
+        hops=20000,
+        rule="paper",
+        rng=np.random.default_rng(0),
+        burn_in=1000,
+    )
+
+    print(f"\nDistributions over states at beta = {BETA:g}:\n")
+    print(f"{'#':>2}  {'Gibbs (Eq.9)':>13}  {'paper rule':>11}  {'metropolis':>11}  {'simulated':>10}")
+    for i in range(len(space)):
+        print(
+            f"{i:>2}  {gibbs[i]:13.4f}  {pi_paper[i]:11.4f}  "
+            f"{pi_metro[i]:11.4f}  {occupancy[i]:10.4f}"
+        )
+
+    print(
+        f"\nTV(paper rule, Gibbs)      = {total_variation(pi_paper, gibbs):.4f}"
+        "   <- the pseudocode's normalized HOP deviates"
+    )
+    print(
+        f"TV(metropolis, Gibbs)      = {total_variation(pi_metro, gibbs):.2e}"
+        "   <- Hastings correction restores Eq. (9) exactly"
+    )
+    print(
+        f"TV(simulated, exact paper) = {total_variation(occupancy, pi_paper):.4f}"
+        "   <- the event-driven solver realizes its chain"
+    )
+
+
+if __name__ == "__main__":
+    main()

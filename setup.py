@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable builds; offline
+boxes that lack it can run ``python setup.py develop --no-deps`` instead.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

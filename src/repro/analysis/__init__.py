@@ -1,0 +1,24 @@
+"""Analysis utilities for experiment outputs.
+
+* :mod:`repro.analysis.series` — time-series resampling and smoothing;
+* :mod:`repro.analysis.stats` — box-plot statistics (Fig. 8) and summary
+  aggregates;
+* :mod:`repro.analysis.convergence` — convergence-time detection on the
+  Figs. 4-6 series;
+* :mod:`repro.analysis.tables` — aligned ASCII table rendering (Table II).
+"""
+
+from repro.analysis.convergence import convergence_time
+from repro.analysis.series import resample_step, moving_average
+from repro.analysis.stats import BoxStats, box_stats, summarize
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "BoxStats",
+    "box_stats",
+    "convergence_time",
+    "moving_average",
+    "render_table",
+    "resample_step",
+    "summarize",
+]

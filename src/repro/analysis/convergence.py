@@ -1,0 +1,49 @@
+"""Convergence detection on trajectory series (Figs. 4 and 6).
+
+The paper reads convergence off the plots ("converges in about 180
+seconds"; with AgRank, values at 100 s match Nrst-initialized values at
+200 s).  We make that precise: the convergence time is the earliest sample
+after which the series stays within a band around its steady-state level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+def convergence_time(
+    times: np.ndarray,
+    values: np.ndarray,
+    tail_fraction: float = 0.2,
+    band: float = 0.15,
+) -> float:
+    """Earliest time after which the series stays within ``band`` (relative
+    to the trajectory's overall range) of its steady-state mean.
+
+    ``tail_fraction`` defines the steady-state window at the end of the
+    trajectory.  Returns the last sample time when the series never
+    settles.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size != values.size or times.size < 2:
+        raise ExperimentError("need two equally-long arrays with >= 2 samples")
+    if not 0.0 < tail_fraction < 1.0:
+        raise ExperimentError("tail_fraction must be in (0, 1)")
+    if band <= 0:
+        raise ExperimentError("band must be positive")
+
+    tail_start = times[-1] - tail_fraction * (times[-1] - times[0])
+    steady = values[times >= tail_start].mean()
+    spread = float(values.max() - values.min())
+    if spread <= 0:
+        return float(times[0])
+    tolerance = band * spread
+    inside = np.abs(values - steady) <= tolerance
+    # Earliest index from which every later sample is inside the band.
+    for i in range(values.size):
+        if inside[i:].all():
+            return float(times[i])
+    return float(times[-1])

@@ -1,0 +1,46 @@
+"""Time-series helpers for figure reproduction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+def resample_step(
+    times: np.ndarray,
+    values: np.ndarray,
+    grid: np.ndarray,
+) -> np.ndarray:
+    """Sample a piecewise-constant (step) series onto ``grid``.
+
+    The value at grid point ``g`` is the last observation at or before
+    ``g``; grid points before the first observation take the first value.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    grid = np.asarray(grid, dtype=float)
+    if times.ndim != 1 or times.shape != values.shape:
+        raise ExperimentError("times and values must be 1-D and equally long")
+    if times.size == 0:
+        raise ExperimentError("cannot resample an empty series")
+    idx = np.searchsorted(times, grid, side="right") - 1
+    idx = np.clip(idx, 0, len(values) - 1)
+    return values[idx]
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge shrinkage (for plotting noisy
+    trajectories; never used in reported numbers)."""
+    values = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ExperimentError(f"window must be >= 1, got {window}")
+    if window == 1 or values.size == 0:
+        return values.copy()
+    out = np.empty_like(values)
+    half = window // 2
+    for i in range(values.size):
+        lo = max(0, i - half)
+        hi = min(values.size, i + half + 1)
+        out[i] = values[lo:hi].mean()
+    return out

@@ -1,0 +1,75 @@
+"""Box-plot statistics and aggregates (Fig. 8, Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """The five-number box-plot summary plus mean, Tukey style: whiskers
+    extend to the most extreme data point within 1.5 IQR of the box."""
+
+    minimum: float
+    lower_whisker: float
+    q1: float
+    median: float
+    q3: float
+    upper_whisker: float
+    maximum: float
+    mean: float
+    count: int
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "lo_whisker": self.lower_whisker,
+            "hi_whisker": self.upper_whisker,
+            "mean": self.mean,
+        }
+
+
+def box_stats(values: np.ndarray | list[float]) -> BoxStats:
+    """Tukey box statistics of a sample."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ExperimentError("cannot summarize an empty sample")
+    q1, median, q3 = (float(q) for q in np.percentile(data, [25, 50, 75]))
+    iqr = q3 - q1
+    in_lo = data[data >= q1 - 1.5 * iqr]
+    in_hi = data[data <= q3 + 1.5 * iqr]
+    # Degenerate samples can leave no data between a fence and its box
+    # edge; clamp whiskers to the box so the five-number ordering holds.
+    lower_whisker = min(float(in_lo.min()), q1)
+    upper_whisker = max(float(in_hi.max()), q3)
+    return BoxStats(
+        minimum=float(data.min()),
+        lower_whisker=lower_whisker,
+        q1=q1,
+        median=median,
+        q3=q3,
+        upper_whisker=upper_whisker,
+        maximum=float(data.max()),
+        mean=float(data.mean()),
+        count=int(data.size),
+    )
+
+
+def summarize(values: np.ndarray | list[float]) -> dict[str, float]:
+    """``mean/std/min/max`` summary used in EXPERIMENTS.md records."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ExperimentError("cannot summarize an empty sample")
+    return {
+        "mean": float(data.mean()),
+        "std": float(data.std(ddof=1)) if data.size > 1 else 0.0,
+        "min": float(data.min()),
+        "max": float(data.max()),
+    }

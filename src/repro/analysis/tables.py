@@ -1,0 +1,55 @@
+"""Aligned ASCII table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ExperimentError
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]] | Sequence[Mapping[str, object]],
+    precision: int = 1,
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Rows may be sequences (ordered like ``headers``) or mappings keyed by
+    header name.
+    """
+    if not headers:
+        raise ExperimentError("a table needs at least one column")
+    materialized: list[list[str]] = []
+    for row in rows:
+        if isinstance(row, Mapping):
+            cells = [_format_cell(row.get(h, ""), precision) for h in headers]
+        else:
+            if len(row) != len(headers):
+                raise ExperimentError(
+                    f"row has {len(row)} cells for {len(headers)} headers"
+                )
+            cells = [_format_cell(cell, precision) for cell in row]
+        materialized.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in materialized:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(cells) for cells in materialized)
+    return "\n".join(out)

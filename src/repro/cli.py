@@ -1,0 +1,99 @@
+"""Command-line interface: ``repro list`` / ``repro run <experiment>``.
+
+Examples::
+
+    repro list
+    repro run fig4
+    repro run table2 --scenarios 100
+    repro run fig7 --csv out/fig7.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Sequence
+
+from repro.experiments.common import SCENARIOS_ENV
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Cost-Effective Low-Delay Cloud Video "
+            "Conferencing' (ICDCS 2015)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered experiments")
+
+    run = subparsers.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument(
+        "--scenarios",
+        type=int,
+        default=None,
+        help="number of random scenarios (Internet-scale experiments; "
+        "the paper uses 100)",
+    )
+    run.add_argument(
+        "--seed", type=int, default=None, help="override the experiment seed"
+    )
+    run.add_argument(
+        "--csv",
+        default="",
+        help="also write raw series rows to this CSV file (figures only)",
+    )
+    return parser
+
+
+def _collect_csv_rows(result: object) -> list[str]:
+    rows: list[str] = []
+    bundles = getattr(result, "bundles", None)
+    if isinstance(bundles, dict):
+        for bundle in bundles.values():
+            rows.extend(bundle.csv_rows())
+    bundle = getattr(result, "bundle", None)
+    if bundle is not None:
+        rows.extend(bundle.csv_rows())
+    return rows
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(eid) for eid in EXPERIMENTS)
+        for eid in sorted(EXPERIMENTS):
+            print(f"{eid:<{width}}  {EXPERIMENTS[eid].description}")
+        return 0
+
+    spec = get_experiment(args.experiment)
+    kwargs = {}
+    if args.scenarios is not None:
+        os.environ[SCENARIOS_ENV] = str(args.scenarios)
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    result = spec.runner(**kwargs)
+    print(result.format_report())
+
+    if args.csv:
+        rows = _collect_csv_rows(result)
+        if rows:
+            with open(args.csv, "w", encoding="utf-8") as handle:
+                handle.write("label,series,time_s,value\n")
+                handle.write("\n".join(rows))
+                handle.write("\n")
+            print(f"\nwrote {len(rows)} series rows to {args.csv}")
+        else:
+            print("\n(no series data to export for this experiment)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Assignment state: the decision variables of problem UAP.
+
+The paper's binary variables are
+
+* ``lambda_lu`` — user ``u`` attaches to agent ``l`` (constraints (1)-(2):
+  exactly one agent per user), and
+* ``gamma_lruv`` — agent ``l`` transcodes ``u``'s stream to representation
+  ``r`` for destination ``v`` (constraints (3)-(4): exactly one agent per
+  required transcoding, and ``r`` is pinned to ``r^d_{vu}``).
+
+Because each user picks exactly one agent and each transcoding pair picks
+exactly one agent, the whole state compresses into two integer vectors:
+``user_agent`` of length U and ``task_agent`` of length ``theta_sum``
+(aligned with :attr:`Conference.transcode_pairs`).  The decision-space size
+is then ``L ** (U + theta_sum)``, exactly the paper's dimension analysis.
+
+:class:`Assignment` is an immutable value object; "mutation" returns a new
+instance sharing no state, so solvers can keep candidate sets cheaply and
+states can key dictionaries (see :meth:`Assignment.key`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.conference import Conference
+from repro.types import UNASSIGNED
+
+
+class Assignment:
+    """Immutable user-to-agent and transcoding-task-to-agent assignment."""
+
+    __slots__ = ("_user_agent", "_task_agent", "_key")
+
+    def __init__(self, user_agent: np.ndarray, task_agent: np.ndarray):
+        ua = np.asarray(user_agent, dtype=np.int64).copy()
+        ta = np.asarray(task_agent, dtype=np.int64).copy()
+        if ua.ndim != 1 or ta.ndim != 1:
+            raise ModelError("assignment vectors must be one-dimensional")
+        ua.setflags(write=False)
+        ta.setflags(write=False)
+        self._user_agent = ua
+        self._task_agent = ta
+        self._key: bytes | None = None
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                       #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty(cls, conference: Conference) -> "Assignment":
+        """An all-unassigned state sized for ``conference``."""
+        return cls(
+            np.full(conference.num_users, UNASSIGNED, dtype=np.int64),
+            np.full(conference.theta_sum, UNASSIGNED, dtype=np.int64),
+        )
+
+    @classmethod
+    def uniform(cls, conference: Conference, agent: int) -> "Assignment":
+        """Everyone (users and tasks) on a single agent."""
+        if not 0 <= agent < conference.num_agents:
+            raise ModelError(f"agent {agent} out of range")
+        return cls(
+            np.full(conference.num_users, agent, dtype=np.int64),
+            np.full(conference.theta_sum, agent, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Access                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def user_agent(self) -> np.ndarray:
+        """Per-user agent ids (read-only; UNASSIGNED = not attached)."""
+        return self._user_agent
+
+    @property
+    def task_agent(self) -> np.ndarray:
+        """Per-transcoding-pair agent ids, aligned with
+        ``Conference.transcode_pairs`` (read-only)."""
+        return self._task_agent
+
+    def agent_of(self, uid: int) -> int:
+        """The agent user ``uid`` is attached to (lambda)."""
+        return int(self._user_agent[uid])
+
+    def task_agent_of(self, pair_index: int) -> int:
+        """The agent performing transcoding pair ``pair_index`` (gamma)."""
+        return int(self._task_agent[pair_index])
+
+    def is_session_assigned(self, conference: Conference, sid: int) -> bool:
+        """Whether every user and task of session ``sid`` has an agent."""
+        session = conference.session(sid)
+        if any(self._user_agent[list(session.user_ids)] == UNASSIGNED):
+            return False
+        pair_idx = list(conference.session_pair_indices(sid))
+        return not pair_idx or bool(np.all(self._task_agent[pair_idx] != UNASSIGNED))
+
+    # ------------------------------------------------------------------ #
+    # Updates (copy-on-write)                                            #
+    # ------------------------------------------------------------------ #
+
+    def with_user(self, uid: int, agent: int) -> "Assignment":
+        """A copy with user ``uid`` attached to ``agent``."""
+        ua = self._user_agent.copy()
+        ua[uid] = agent
+        return Assignment(ua, self._task_agent)
+
+    def with_task(self, pair_index: int, agent: int) -> "Assignment":
+        """A copy with transcoding pair ``pair_index`` placed on ``agent``."""
+        ta = self._task_agent.copy()
+        ta[pair_index] = agent
+        return Assignment(self._user_agent, ta)
+
+    def with_session_cleared(self, conference: Conference, sid: int) -> "Assignment":
+        """A copy with session ``sid`` fully unassigned (used on departure)."""
+        ua = self._user_agent.copy()
+        ta = self._task_agent.copy()
+        session = conference.session(sid)
+        ua[list(session.user_ids)] = UNASSIGNED
+        idx = list(conference.session_pair_indices(sid))
+        if idx:
+            ta[idx] = UNASSIGNED
+        return Assignment(ua, ta)
+
+    def merged(self, other: "Assignment", conference: Conference, sid: int) -> "Assignment":
+        """A copy taking session ``sid``'s decisions from ``other``."""
+        ua = self._user_agent.copy()
+        ta = self._task_agent.copy()
+        session = conference.session(sid)
+        uids = list(session.user_ids)
+        ua[uids] = other.user_agent[uids]
+        idx = list(conference.session_pair_indices(sid))
+        if idx:
+            ta[idx] = other.task_agent[idx]
+        return Assignment(ua, ta)
+
+    # ------------------------------------------------------------------ #
+    # Identity                                                           #
+    # ------------------------------------------------------------------ #
+
+    def key(self) -> bytes:
+        """A hashable canonical encoding of the state."""
+        if self._key is None:
+            self._key = self._user_agent.tobytes() + b"|" + self._task_agent.tobytes()
+        return self._key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Assignment):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        users = ",".join(str(a) for a in self._user_agent)
+        tasks = ",".join(str(a) for a in self._task_agent)
+        return f"Assignment(users=[{users}], tasks=[{tasks}])"
+
+    def difference(self, other: "Assignment") -> int:
+        """Number of decisions on which two assignments differ (the Markov
+        chain has a direct transition iff this equals 1)."""
+        if self._user_agent.shape != other._user_agent.shape or (
+            self._task_agent.shape != other._task_agent.shape
+        ):
+            raise ModelError("assignments belong to different conferences")
+        return int(
+            np.count_nonzero(self._user_agent != other._user_agent)
+            + np.count_nonzero(self._task_agent != other._task_agent)
+        )

@@ -1,0 +1,111 @@
+"""Whole-conference bootstrapping: initial assignments for many sessions.
+
+Sessions are bootstrapped one at a time (the paper's sessions start
+independently); each sees the residual capacities left by those already
+admitted via a shared :class:`CapacityLedger`.  The Fig. 9 success-rate
+experiments call :func:`try_bootstrap` and count scenarios where every
+session was admitted and the final assignment is feasible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Literal
+
+from repro.core.agrank import AgRankConfig, agrank_assignment
+from repro.core.assignment import Assignment
+from repro.core.capacity import CapacityLedger
+from repro.core.feasibility import check_assignment
+from repro.core.nearest import nearest_assignment
+from repro.core.traffic import compute_session_usage
+from repro.errors import InfeasibleError, SolverError
+from repro.model.conference import Conference
+
+Policy = Literal["nearest", "agrank"]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of a whole-conference bootstrap attempt."""
+
+    assignment: Assignment
+    success: bool
+    failed_sid: int | None = None
+    reason: str = ""
+
+
+def bootstrap_assignment(
+    conference: Conference,
+    policy: Policy = "agrank",
+    config: AgRankConfig | None = None,
+    sids: Iterable[int] | None = None,
+    check_delay: bool = True,
+) -> Assignment:
+    """Bootstrap the given (default all) sessions, raising on failure.
+
+    ``check_delay=False`` validates capacities only: initial assignments
+    may exceed ``Dmax`` on individual flows (AgRank is not delay-aware),
+    and Alg. 1 — whose candidate filter enforces constraint (8) — heals
+    them on its first hops.
+    """
+    result = try_bootstrap(conference, policy, config, sids, check_delay)
+    if not result.success:
+        raise InfeasibleError(
+            f"bootstrap policy {policy!r} failed at session {result.failed_sid}: "
+            f"{result.reason}"
+        )
+    return result.assignment
+
+
+def try_bootstrap(
+    conference: Conference,
+    policy: Policy = "agrank",
+    config: AgRankConfig | None = None,
+    sids: Iterable[int] | None = None,
+    check_delay: bool = True,
+) -> BootstrapResult:
+    """Bootstrap sessions one by one, reporting success or the first
+    failure (capacity rejection or final infeasibility).
+
+    ``check_delay=False`` restricts the final feasibility check to the
+    capacity constraints (5)-(7) — the Fig. 9 notion of a "successfully
+    initialized" scenario, which is about subscription capacity only.
+    """
+    if policy not in ("nearest", "agrank"):
+        raise SolverError(f"unknown bootstrap policy {policy!r}")
+    sid_list = list(sids) if sids is not None else list(range(conference.num_sessions))
+    assignment = Assignment.empty(conference)
+    ledger = CapacityLedger(conference)
+
+    for sid in sid_list:
+        if policy == "nearest":
+            assignment = nearest_assignment(conference, [sid], base=assignment)
+        else:
+            try:
+                assignment = agrank_assignment(
+                    conference, sid, ledger=ledger, config=config, base=assignment
+                )
+            except InfeasibleError as error:
+                return BootstrapResult(
+                    assignment=assignment,
+                    success=False,
+                    failed_sid=sid,
+                    reason=str(error),
+                )
+        ledger.set_session(compute_session_usage(conference, assignment, sid))
+
+    report = check_assignment(
+        conference,
+        assignment,
+        sid_list,
+        dmax_ms=None if check_delay else math.inf,
+    )
+    if not report.ok:
+        return BootstrapResult(
+            assignment=assignment,
+            success=False,
+            failed_sid=None,
+            reason=report.summary(),
+        )
+    return BootstrapResult(assignment=assignment, success=True)

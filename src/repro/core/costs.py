@@ -1,0 +1,113 @@
+"""Convex cost-function library for ``g_l`` and ``h_l`` (paper Sec. III-D).
+
+The paper requires ``g_l`` (bandwidth) convex increasing and ``h_l``
+(transcoding) convex.  Throughout the evaluation it reports raw inter-agent
+Mbps and task counts, i.e. the identity cost; dollar-denominated and
+superlinear (congestion-averse) variants are provided for completeness and
+the ablation benches.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.errors import ModelError
+
+
+@runtime_checkable
+class CostFunction(Protocol):
+    """A scalar convex cost ``cost(x)`` with ``x >= 0``."""
+
+    def __call__(self, x: float) -> float:
+        ...
+
+
+@dataclass(frozen=True)
+class LinearCost:
+    """``cost(x) = rate * x`` (the identity for ``rate=1``, the paper's
+    reporting unit)."""
+
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ModelError(f"rate must be >= 0, got {self.rate}")
+
+    def __call__(self, x: float) -> float:
+        return self.rate * x
+
+
+@dataclass(frozen=True)
+class PowerCost:
+    """``cost(x) = coefficient * x ** exponent`` with ``exponent >= 1``
+    (convex increasing); models congestion-sensitive egress pricing."""
+
+    coefficient: float = 1.0
+    exponent: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.coefficient < 0:
+            raise ModelError("coefficient must be >= 0")
+        if self.exponent < 1.0:
+            raise ModelError(
+                f"exponent must be >= 1 for convexity, got {self.exponent}"
+            )
+
+    def __call__(self, x: float) -> float:
+        if x < 0:
+            raise ModelError(f"cost argument must be >= 0, got {x}")
+        return self.coefficient * x**self.exponent
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearCost:
+    """A convex piecewise-linear cost given by breakpoints and slopes.
+
+    ``slopes`` must be non-decreasing (convexity).  Models tiered bandwidth
+    pricing: the first ``breakpoints[0]`` Mbps cost ``slopes[0]`` per unit,
+    the next tier ``slopes[1]``, and so on.
+    """
+
+    breakpoints: tuple[float, ...]
+    slopes: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.slopes) != len(self.breakpoints) + 1:
+            raise ModelError(
+                "need exactly one more slope than breakpoints "
+                f"(got {len(self.slopes)} slopes, {len(self.breakpoints)} breakpoints)"
+            )
+        if any(b <= 0 for b in self.breakpoints):
+            raise ModelError("breakpoints must be positive")
+        if list(self.breakpoints) != sorted(self.breakpoints):
+            raise ModelError("breakpoints must be increasing")
+        if list(self.slopes) != sorted(self.slopes):
+            raise ModelError("slopes must be non-decreasing for convexity")
+        if any(s < 0 for s in self.slopes):
+            raise ModelError("slopes must be non-negative")
+
+    def __call__(self, x: float) -> float:
+        if x < 0:
+            raise ModelError(f"cost argument must be >= 0, got {x}")
+        total = 0.0
+        previous = 0.0
+        tier = bisect.bisect_left(self.breakpoints, x)
+        for i in range(tier):
+            total += (self.breakpoints[i] - previous) * self.slopes[i]
+            previous = self.breakpoints[i]
+        return total + (x - previous) * self.slopes[tier]
+
+
+def uniform_costs(num_agents: int, cost: CostFunction | None = None) -> list[CostFunction]:
+    """The same cost function replicated for every agent (identity default)."""
+    return [cost if cost is not None else LinearCost()] * num_agents
+
+
+def validate_cost_vector(costs: Sequence[CostFunction], num_agents: int) -> None:
+    """Raise unless ``costs`` provides one cost function per agent."""
+    if len(costs) != num_agents:
+        raise ModelError(
+            f"need one cost function per agent ({num_agents}), got {len(costs)}"
+        )

@@ -1,0 +1,113 @@
+"""Exhaustive exact solver for small instances.
+
+UAP is combinatorial with ``L ** (U + theta_sum)`` states; for the toy
+instances used in tests and theory experiments (Fig. 3's 8-state chain,
+the Fig. 2 scenario) exhaustive enumeration is exact, dependency-free, and
+fast.  It powers:
+
+* optimality-gap validation against Alg. 1 (Eq. 10 / 12);
+* exact stationary-distribution computation in :mod:`repro.core.theory`;
+* ground truth for property-based tests of the heuristics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.feasibility import is_feasible
+from repro.core.objective import ObjectiveEvaluator
+from repro.errors import SolverError
+from repro.model.conference import Conference
+
+#: Refuse to enumerate beyond this many raw states by default.
+DEFAULT_MAX_STATES = 1_000_000
+
+
+def state_space_size(conference: Conference, sids: Iterable[int] | None = None) -> int:
+    """``L ** (#users + #tasks)`` over the given (default all) sessions."""
+    if sids is None:
+        sids = range(conference.num_sessions)
+    decisions = 0
+    for sid in sids:
+        decisions += len(conference.session(sid).user_ids)
+        decisions += len(conference.session_pair_indices(sid))
+    return conference.num_agents**decisions
+
+
+def enumerate_assignments(
+    conference: Conference,
+    sids: Iterable[int] | None = None,
+    feasible_only: bool = True,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> Iterator[Assignment]:
+    """Yield all (by default: all feasible) assignments of the sessions.
+
+    Raises :class:`SolverError` when the raw state space exceeds
+    ``max_states`` — use the heuristics beyond toy scale.
+    """
+    sid_list = list(sids) if sids is not None else list(range(conference.num_sessions))
+    size = state_space_size(conference, sid_list)
+    if size > max_states:
+        raise SolverError(
+            f"state space has {size} states (> {max_states}); exhaustive "
+            "enumeration is limited to toy instances"
+        )
+    uids = [uid for sid in sid_list for uid in conference.session(sid).user_ids]
+    pair_indices = [
+        i for sid in sid_list for i in conference.session_pair_indices(sid)
+    ]
+    base = Assignment.empty(conference)
+    agents = range(conference.num_agents)
+    decisions = len(uids) + len(pair_indices)
+    for combo in itertools.product(agents, repeat=decisions):
+        user_agent = base.user_agent.copy()
+        task_agent = base.task_agent.copy()
+        for offset, uid in enumerate(uids):
+            user_agent[uid] = combo[offset]
+        for offset, i in enumerate(pair_indices):
+            task_agent[i] = combo[len(uids) + offset]
+        assignment = Assignment(user_agent, task_agent)
+        if not feasible_only or is_feasible(conference, assignment, sid_list):
+            yield assignment
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """Optimal assignment with enumeration statistics."""
+
+    assignment: Assignment
+    phi: float
+    num_feasible: int
+    num_states: int
+
+
+def solve_exact(
+    evaluator: ObjectiveEvaluator,
+    sids: Iterable[int] | None = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> ExactResult:
+    """Enumerate feasible states and return the global optimum ``Phi_min``."""
+    conference = evaluator.conference
+    sid_list = list(sids) if sids is not None else list(range(conference.num_sessions))
+    best: Assignment | None = None
+    best_phi = np.inf
+    feasible = 0
+    for assignment in enumerate_assignments(conference, sid_list, max_states=max_states):
+        feasible += 1
+        phi = evaluator.total(assignment, sid_list).phi
+        if phi < best_phi:
+            best_phi = phi
+            best = assignment
+    if best is None:
+        raise SolverError("no feasible assignment exists for the instance")
+    return ExactResult(
+        assignment=best,
+        phi=float(best_phi),
+        num_feasible=feasible,
+        num_states=state_space_size(conference, sid_list),
+    )

@@ -1,0 +1,155 @@
+"""Explicit flow routing: the ground-truth traffic accounting.
+
+While :mod:`repro.core.traffic` implements the paper's closed-form
+``mu_klu``, this module routes every stream hop by hop and charges each
+inter-agent edge once per distinct ``(source-user, representation)`` copy:
+
+* the raw stream ships from the source's agent to every *distinct* agent
+  that either transcodes it or hosts a destination demanding it raw;
+* each transcoded representation ships from its transcoding agent to every
+  distinct agent hosting a destination demanding it.
+
+The two accountings agree everywhere except the published formula's corner
+case (transcoded traffic entering the source user's own agent — see
+DESIGN.md), which the router does charge because the bytes really cross the
+inter-agent link.  The router also produces per-edge matrices, which the
+runtime uses for migration bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.transcoding import session_transcode_map
+from repro.errors import ModelError
+from repro.model.conference import Conference
+from repro.model.representation import Representation
+from repro.types import UNASSIGNED
+
+
+@dataclass
+class FlowCopy:
+    """One inter-agent shipment of one stream copy."""
+
+    source_user: int
+    representation: Representation
+    from_agent: int
+    to_agent: int
+
+    @property
+    def mbps(self) -> float:
+        return self.representation.bitrate_mbps
+
+
+@dataclass
+class SessionFlowPlan:
+    """Routed flows of one session.
+
+    Attributes
+    ----------
+    edge_mbps:
+        L x L matrix; entry ``[k, l]`` is the traffic shipped from agent
+        ``k`` to agent ``l`` for this session.
+    copies:
+        The individual shipments (for migration accounting and debugging).
+    """
+
+    sid: int
+    edge_mbps: np.ndarray
+    copies: list[FlowCopy] = field(default_factory=list)
+
+    @property
+    def total_inter_agent_mbps(self) -> float:
+        return float(self.edge_mbps.sum())
+
+    def incoming(self) -> np.ndarray:
+        """Per-agent inter-agent ingress (router analogue of ``x_ls``)."""
+        return self.edge_mbps.sum(axis=0)
+
+    def outgoing(self) -> np.ndarray:
+        """Per-agent inter-agent egress."""
+        return self.edge_mbps.sum(axis=1)
+
+
+def route_session_flows(
+    conference: Conference, assignment: Assignment, sid: int
+) -> SessionFlowPlan:
+    """Route all streams of session ``sid`` and account every edge copy."""
+    session = conference.session(sid)
+    num_agents = conference.num_agents
+    edges = np.zeros((num_agents, num_agents), dtype=float)
+    copies: list[FlowCopy] = []
+    transcode_map = session_transcode_map(conference, assignment, sid)
+
+    def ship(source: int, rep: Representation, from_agent: int, to_agent: int) -> None:
+        if from_agent == to_agent:
+            return
+        edges[from_agent, to_agent] += rep.bitrate_mbps
+        copies.append(FlowCopy(source, rep, from_agent, to_agent))
+
+    for uid in session.user_ids:
+        source_agent = assignment.agent_of(uid)
+        if source_agent == UNASSIGNED:
+            raise ModelError(f"user {uid} is unassigned")
+        upstream = conference.user(uid).upstream
+
+        # Where must the raw stream go?
+        raw_targets: set[int] = set()
+        for v in session.others(uid):
+            v_agent = assignment.agent_of(v)
+            if v_agent == UNASSIGNED:
+                raise ModelError(f"user {v} is unassigned")
+            if conference.user(v).downstream_from(uid) == upstream:
+                raw_targets.add(v_agent)
+        per_rep = transcode_map.get(uid, {})
+        for agents in per_rep.values():
+            raw_targets.update(agents)
+        for target in sorted(raw_targets):
+            ship(uid, upstream, source_agent, target)
+
+        # Transcoded copies: task agent -> destination agents demanding rep.
+        for rep, task_agents in per_rep.items():
+            dest_agents = {
+                assignment.agent_of(v)
+                for v in session.others(uid)
+                if conference.user(v).downstream_from(uid) == rep
+            }
+            # Each destination is served by one task agent; when several
+            # task agents exist for the same (user, rep), each serves the
+            # destinations whose pair was assigned to it.
+            if len(task_agents) == 1:
+                (task_agent,) = task_agents
+                for dest in sorted(dest_agents):
+                    ship(uid, rep, task_agent, dest)
+            else:
+                shipped: set[tuple[int, int]] = set()
+                for i in conference.session_pair_indices(sid):
+                    src, dst = conference.transcode_pairs[i]
+                    if src != uid:
+                        continue
+                    if conference.demanded_representation(src, dst) != rep:
+                        continue
+                    task_agent = assignment.task_agent_of(i)
+                    dest = assignment.agent_of(dst)
+                    if (task_agent, dest) not in shipped:
+                        shipped.add((task_agent, dest))
+                        ship(uid, rep, task_agent, dest)
+
+    return SessionFlowPlan(sid=sid, edge_mbps=edges, copies=copies)
+
+
+def total_routed_traffic(
+    conference: Conference,
+    assignment: Assignment,
+    sids: list[int] | None = None,
+) -> float:
+    """Total routed inter-agent Mbps over the given (default all) sessions."""
+    if sids is None:
+        sids = list(range(conference.num_sessions))
+    return sum(
+        route_session_flows(conference, assignment, sid).total_inter_agent_mbps
+        for sid in sids
+    )

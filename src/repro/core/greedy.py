@@ -1,0 +1,69 @@
+"""Greedy best-improvement descent: the ``beta -> infinity`` limit of Alg. 1.
+
+Repeatedly applies, across all active sessions, the single-decision move
+with the largest objective improvement until a local optimum is reached.
+Serves as a deterministic reference point in the ablation benches: Markov
+approximation should match or beat it in expectation (it can escape local
+optima; greedy cannot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import Assignment
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.search import SearchContext
+from repro.netsim.noise import NoiseModel
+
+#: Minimum objective improvement for a move to count (guards float noise).
+IMPROVEMENT_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class GreedyResult:
+    """Outcome of a greedy descent."""
+
+    assignment: Assignment
+    phi: float
+    iterations: int
+    converged: bool
+
+
+def greedy_descent(
+    evaluator: ObjectiveEvaluator,
+    initial_assignment: Assignment,
+    active_sids: list[int] | None = None,
+    max_iterations: int = 10_000,
+    noise: NoiseModel | None = None,
+) -> GreedyResult:
+    """Best-improvement local search to a local optimum of UAP."""
+    context = SearchContext(
+        evaluator, initial_assignment, active_sids=active_sids, noise=noise
+    )
+    iterations = 0
+    while iterations < max_iterations:
+        best = None
+        best_sid = -1
+        best_gain = IMPROVEMENT_EPSILON
+        for sid in context.active_sessions:
+            phi_current = context.session_cost(sid).phi
+            for candidate in context.feasible_candidates(sid):
+                gain = phi_current - candidate.phi
+                if gain > best_gain:
+                    best, best_sid, best_gain = candidate, sid, gain
+        if best is None:
+            return GreedyResult(
+                assignment=context.assignment,
+                phi=context.total_phi(),
+                iterations=iterations,
+                converged=True,
+            )
+        context.commit(best_sid, best)
+        iterations += 1
+    return GreedyResult(
+        assignment=context.assignment,
+        phi=context.total_phi(),
+        iterations=iterations,
+        converged=False,
+    )

@@ -1,0 +1,44 @@
+"""The Nrst baseline: nearest-agent assignment.
+
+This is the policy of Airlift [11] and vSkyConf [21], which the paper
+compares against: every user attaches to the agent with the smallest
+user-to-agent delay, oblivious to session structure and to resource
+availability; transcoding tasks run at the source user's agent (the
+natural choice in those systems, where the source agent fans the stream
+out).  Equivalent to AgRank with ``n_ngbr = 1`` (Sec. V-B.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.assignment import Assignment
+from repro.model.conference import Conference
+
+
+def nearest_assignment(
+    conference: Conference,
+    sids: Iterable[int] | None = None,
+    base: Assignment | None = None,
+) -> Assignment:
+    """Assign the given (default all) sessions by the nearest policy.
+
+    ``base`` supplies the decisions of other sessions (useful in dynamic
+    scenarios); it defaults to an empty assignment.  The result is
+    capacity-oblivious: callers decide whether capacity violations mean
+    rejection (the Fig. 9 success-rate experiments) or are tolerated (the
+    unlimited-capacity experiments).
+    """
+    if sids is None:
+        sids = range(conference.num_sessions)
+    assignment = base if base is not None else Assignment.empty(conference)
+    topology = conference.topology
+    user_agent = assignment.user_agent.copy()
+    task_agent = assignment.task_agent.copy()
+    for sid in sids:
+        for uid in conference.session(sid).user_ids:
+            user_agent[uid] = int(topology.nearest_agents(uid)[0])
+        for i in conference.session_pair_indices(sid):
+            source, _destination = conference.transcode_pairs[i]
+            task_agent[i] = user_agent[source]
+    return Assignment(user_agent, task_agent)

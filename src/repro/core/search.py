@@ -1,0 +1,212 @@
+"""Shared local-search machinery.
+
+Alg. 1 (Markov approximation), greedy descent and simulated annealing all
+walk the same single-decision neighbourhood under the same feasibility
+rules.  :class:`SearchContext` centralizes that: it owns the current
+assignment, the capacity ledger, cached per-session costs, and candidate
+evaluation (usage + capacity fit + delay cap + session-local objective),
+so the solvers reduce to their selection rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.capacity import CapacityLedger
+from repro.core.neighborhood import Move, session_moves
+from repro.core.objective import ObjectiveEvaluator, SessionCost
+from repro.errors import ModelError, SolverError
+from repro.model.conference import Conference
+from repro.netsim.noise import NoiseModel, NoNoise
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One feasible neighbouring assignment of a session."""
+
+    move: Move
+    assignment: Assignment
+    cost: SessionCost
+
+    @property
+    def phi(self) -> float:
+        return self.cost.phi
+
+
+class SearchContext:
+    """Mutable search state shared by the local-search solvers.
+
+    Parameters
+    ----------
+    evaluator:
+        Objective evaluator (fixes the conference, alphas and costs).
+    assignment:
+        A feasible starting assignment covering ``active_sids``.
+    active_sids:
+        Sessions being optimized (defaults to all sessions); inactive
+        sessions' users must be unassigned and are ignored.
+    noise:
+        Optional observation noise applied to every *candidate* objective
+        evaluation (the current state's remembered cost stays exact), which
+        models the noisy measurements of Sec. IV-A.4.
+    rng:
+        Generator used only for noise draws here; solvers hold their own.
+    """
+
+    def __init__(
+        self,
+        evaluator: ObjectiveEvaluator,
+        assignment: Assignment,
+        active_sids: list[int] | None = None,
+        noise: NoiseModel | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self._evaluator = evaluator
+        self._conference = evaluator.conference
+        self._active = (
+            sorted(active_sids)
+            if active_sids is not None
+            else list(range(self._conference.num_sessions))
+        )
+        if not self._active:
+            raise SolverError("at least one active session is required")
+        self._assignment = assignment
+        self._noise: NoiseModel = noise if noise is not None else NoNoise()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._ledger = CapacityLedger.from_assignment(
+            self._conference, assignment, self._active
+        )
+        self._costs: dict[int, SessionCost] = {
+            sid: evaluator.session_cost(assignment, sid) for sid in self._active
+        }
+
+    # ------------------------------------------------------------------ #
+    # State access                                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def conference(self) -> Conference:
+        return self._conference
+
+    @property
+    def evaluator(self) -> ObjectiveEvaluator:
+        return self._evaluator
+
+    @property
+    def assignment(self) -> Assignment:
+        return self._assignment
+
+    @property
+    def ledger(self) -> CapacityLedger:
+        return self._ledger
+
+    @property
+    def active_sessions(self) -> list[int]:
+        return list(self._active)
+
+    def session_cost(self, sid: int) -> SessionCost:
+        return self._costs[sid]
+
+    def total_phi(self) -> float:
+        return sum(cost.phi for cost in self._costs.values())
+
+    def metrics(self) -> tuple[float, float]:
+        """``(inter_agent_mbps, average_delay_ms)`` over active sessions."""
+        profile = self._evaluator.profile
+        traffic = sum(c.inter_agent_mbps for c in self._costs.values())
+        delays: list[float] = []
+        for sid in self._active:
+            delays.extend(
+                profile.session_user_delays(
+                    self._assignment.user_agent, self._assignment.task_agent, sid
+                ).values()
+            )
+        return traffic, float(np.mean(delays))
+
+    # ------------------------------------------------------------------ #
+    # Candidate evaluation                                               #
+    # ------------------------------------------------------------------ #
+
+    def evaluate_move(self, sid: int, move: Move) -> Candidate | None:
+        """Apply feasibility rules to one move; None when infeasible.
+
+        One pass computes the session usage (for the capacity check and
+        the cost terms) and the flow delays (for constraint (8) and the
+        delay cost); the candidate's stored cost is the *observed*
+        (possibly noisy) one — exactly what Alg. 1's HOP acts on.
+        """
+        candidate = move.apply(self._assignment)
+        profile = self._evaluator.profile
+        usage = profile.session_usage(candidate.user_agent, candidate.task_agent, sid)
+        if not self._ledger.fits(usage):
+            return None
+        delay_cost, max_flow = profile.session_delays(
+            candidate.user_agent, candidate.task_agent, sid
+        )
+        if max_flow > self._conference.dmax_ms + 1e-9:
+            return None
+        cost = self._evaluator.assemble_session_cost(sid, usage, delay_cost)
+        observed_phi = self._noise.perturb(cost.phi, self._rng)
+        if observed_phi != cost.phi:
+            cost = SessionCost(
+                sid=cost.sid,
+                phi=observed_phi,
+                delay_cost_ms=cost.delay_cost_ms,
+                traffic_cost=cost.traffic_cost,
+                transcode_cost=cost.transcode_cost,
+                usage=cost.usage,
+            )
+        return Candidate(move=move, assignment=candidate, cost=cost)
+
+    def feasible_candidates(self, sid: int) -> list[Candidate]:
+        """All feasible single-decision neighbours of session ``sid``."""
+        candidates = []
+        for move in session_moves(self._conference, self._assignment, sid):
+            candidate = self.evaluate_move(sid, move)
+            if candidate is not None:
+                candidates.append(candidate)
+        return candidates
+
+    # ------------------------------------------------------------------ #
+    # Commitment                                                         #
+    # ------------------------------------------------------------------ #
+
+    def commit(self, sid: int, candidate: Candidate) -> None:
+        """Adopt a candidate: swap the assignment and refresh caches.
+
+        The committed cost is re-evaluated noiselessly so the context's
+        view of the current state stays exact (noise applies to
+        *observations* of candidates, not to the state itself).
+        """
+        self._assignment = candidate.assignment
+        exact_cost = self._evaluator.session_cost(candidate.assignment, sid)
+        self._costs[sid] = exact_cost
+        self._ledger.set_session(exact_cost.usage)
+
+    # ------------------------------------------------------------------ #
+    # Session dynamics (arrivals / departures)                           #
+    # ------------------------------------------------------------------ #
+
+    def add_session(self, sid: int, assignment: Assignment) -> None:
+        """Activate a session bootstrapped in ``assignment`` (which must
+        agree with the current assignment on all other sessions)."""
+        if sid in self._costs:
+            raise ModelError(f"session {sid} is already active")
+        merged = self._assignment.merged(assignment, self._conference, sid)
+        self._assignment = merged
+        cost = self._evaluator.session_cost(merged, sid)
+        self._costs[sid] = cost
+        self._ledger.set_session(cost.usage)
+        self._active = sorted(self._active + [sid])
+
+    def remove_session(self, sid: int) -> None:
+        """Deactivate a session and release its capacity."""
+        if sid not in self._costs:
+            raise ModelError(f"session {sid} is not active")
+        del self._costs[sid]
+        self._ledger.remove_session(sid)
+        self._active.remove(sid)
+        self._assignment = self._assignment.with_session_cleared(self._conference, sid)

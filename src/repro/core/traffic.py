@@ -1,0 +1,184 @@
+"""Traffic accounting per the paper's ``mu_klu`` formula (Sec. III-B).
+
+``mu_klu`` is the download traffic at agent ``l`` received from agent ``k``
+carrying streams that originate at user ``u``.  Its three terms:
+
+1. ``lambda_ku * nu'_lu * kappa(r^u_u)`` — ``u`` attaches to ``k`` and ``l``
+   transcodes ``u``'s stream, so the raw upstream ships ``k -> l``;
+2. ``(max_{v in P(u), theta_uv=0} lambda_lv) * lambda_ku * (1 - nu'_lu)
+   * kappa(r^u_u)`` — some destination on ``l`` wants the *raw* stream and
+   ``l`` is not already receiving it for transcoding;
+3. ``sum_{r != r^u_u} (max_{v in P(u), r^d_vu=r} lambda_lv) * (1 - lambda_lu)
+   * nu_kru * kappa(r)`` — ``k`` transcodes ``u``'s stream to ``r`` and some
+   destination on ``l`` demands ``r``.
+
+The ``(1 - lambda_lu)`` factor in term 3 is a quirk of the published
+formula: transcoded traffic flowing back into the *source user's own agent*
+is not charged.  We implement the formula verbatim;
+:mod:`repro.core.flows` provides the explicit router that does charge that
+corner case, and the test suite pins down exactly when the two accountings
+diverge.
+
+From ``mu`` this module derives everything the constraints and the
+objective consume, bundled per session in :class:`SessionUsage`:
+
+* ``x_ls = sum_{u in U(s)} sum_{k != l} mu_klu`` — inter-agent traffic into
+  ``l`` (argument of the bandwidth cost ``g_l``);
+* the download usage of constraint (5): last-mile upstreams of attached
+  users plus incoming inter-agent traffic;
+* the upload usage of constraint (6): last-mile downstreams towards
+  attached users plus outgoing inter-agent traffic;
+* ``y_ls`` — transcoding tasks per agent (constraint (7)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.transcoding import session_transcode_map, transcoding_agents_of
+from repro.errors import ModelError
+from repro.model.conference import Conference
+from repro.types import UNASSIGNED
+
+
+@dataclass(frozen=True)
+class SessionUsage:
+    """Per-agent resource usage attributable to one session.
+
+    All arrays have length L (number of agents).  ``inter_in[l]`` is
+    ``x_ls``; ``download`` / ``upload`` are the left-hand sides of
+    constraints (5) / (6) restricted to this session; ``transcodes`` is
+    ``y_ls``.
+    """
+
+    sid: int
+    inter_in: np.ndarray
+    inter_out: np.ndarray
+    download: np.ndarray
+    upload: np.ndarray
+    transcodes: np.ndarray
+
+    @property
+    def total_inter_agent_mbps(self) -> float:
+        """Total inter-agent traffic of the session (the paper's metric)."""
+        return float(self.inter_in.sum())
+
+    def __post_init__(self) -> None:
+        for name in ("inter_in", "inter_out", "download", "upload", "transcodes"):
+            getattr(self, name).setflags(write=False)
+
+
+def stream_mu(
+    conference: Conference,
+    assignment: Assignment,
+    sid: int,
+    source: int,
+) -> np.ndarray:
+    """The L x L matrix ``mu[k, l]`` for one source user's stream.
+
+    ``mu[k, l]`` is the traffic shipped from agent ``k`` into agent ``l``
+    that carries ``source``'s stream (raw or transcoded), per the paper's
+    three-term formula.
+    """
+    num_agents = conference.num_agents
+    mu = np.zeros((num_agents, num_agents), dtype=float)
+    source_agent = assignment.agent_of(source)
+    if source_agent == UNASSIGNED:
+        raise ModelError(f"user {source} is unassigned")
+    kappa_up = conference.user(source).upstream.bitrate_mbps
+
+    # Destination structure of this stream within the session.
+    raw_dest_agents: set[int] = set()
+    transcoded_dest_agents: dict[object, set[int]] = {}
+    upstream = conference.user(source).upstream
+    for v in conference.participants(source):
+        v_agent = assignment.agent_of(v)
+        if v_agent == UNASSIGNED:
+            raise ModelError(f"user {v} is unassigned")
+        demanded = conference.user(v).downstream_from(source)
+        if demanded == upstream:
+            raw_dest_agents.add(v_agent)
+        else:
+            transcoded_dest_agents.setdefault(demanded, set()).add(v_agent)
+
+    transcoders = transcoding_agents_of(conference, assignment, sid, source)
+    per_rep = session_transcode_map(conference, assignment, sid).get(source, {})
+
+    for l in range(num_agents):
+        if l == source_agent:
+            continue  # every term carries lambda_ku or (1 - lambda_lu)
+        # Term 1: raw stream shipped to a transcoding agent.
+        if l in transcoders:
+            mu[source_agent, l] += kappa_up
+        # Term 2: raw stream shipped to an agent hosting a raw destination.
+        elif l in raw_dest_agents:
+            mu[source_agent, l] += kappa_up
+    # Term 3: transcoded representations shipped transcoder -> destination.
+    for rep, task_agents in per_rep.items():
+        dest_agents = transcoded_dest_agents.get(rep, set())
+        for l in dest_agents:
+            if l == source_agent:
+                continue  # the published (1 - lambda_lu) factor
+            for k in task_agents:
+                if k != l:
+                    mu[k, l] += rep.bitrate_mbps
+    return mu
+
+
+def compute_session_usage(
+    conference: Conference, assignment: Assignment, sid: int
+) -> SessionUsage:
+    """All per-agent usage quantities for session ``sid``."""
+    num_agents = conference.num_agents
+    session = conference.session(sid)
+    inter = np.zeros((num_agents, num_agents), dtype=float)
+    lastmile_down = np.zeros(num_agents, dtype=float)  # user upstream into agent
+    lastmile_up = np.zeros(num_agents, dtype=float)  # streams out to users
+
+    for uid in session.user_ids:
+        agent = assignment.agent_of(uid)
+        if agent == UNASSIGNED:
+            raise ModelError(f"user {uid} is unassigned")
+        user = conference.user(uid)
+        lastmile_down[agent] += user.upstream.bitrate_mbps
+        lastmile_up[agent] += sum(
+            user.downstream_from(v).bitrate_mbps for v in session.others(uid)
+        )
+        inter += stream_mu(conference, assignment, sid, uid)
+
+    incoming = inter.sum(axis=0)  # x_ls: sum over source agents k of mu[k, l]
+    outgoing = inter.sum(axis=1)
+
+    transcodes = np.zeros(num_agents, dtype=np.int64)
+    for source, reps in session_transcode_map(conference, assignment, sid).items():
+        del source
+        for agents in reps.values():
+            for agent in agents:
+                transcodes[agent] += 1
+
+    return SessionUsage(
+        sid=sid,
+        inter_in=incoming,
+        inter_out=outgoing,
+        download=lastmile_down + incoming,
+        upload=lastmile_up + outgoing,
+        transcodes=transcodes,
+    )
+
+
+def total_inter_agent_traffic(
+    conference: Conference,
+    assignment: Assignment,
+    sids: list[int] | None = None,
+) -> float:
+    """Total inter-agent traffic in Mbps over the given (default all)
+    sessions — the operational-cost proxy reported throughout Sec. V."""
+    if sids is None:
+        sids = list(range(conference.num_sessions))
+    return sum(
+        compute_session_usage(conference, assignment, sid).total_inter_agent_mbps
+        for sid in sids
+    )

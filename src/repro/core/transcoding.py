@@ -1,0 +1,111 @@
+"""Derived transcoding indicators (paper Sec. III-B).
+
+From the task assignment ``gamma`` the paper derives
+
+* ``nu_lru = max_v gamma_lruv`` — agent ``l`` transcodes ``u``'s stream to
+  representation ``r`` for at least one destination, and
+* ``nu'_lu = max_r nu_lru`` — agent ``l`` transcodes ``u``'s stream at all.
+
+A transcoding *task* is a distinct ``(agent, source-user, target-rep)``
+triple: it occupies one slot of ``t_l`` regardless of how many destinations
+consume its output (constraint (7)).  Note that two destinations demanding
+the same representation may still be served by tasks on *different* agents
+(the assignment space allows it), in which case both tasks count.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.model.conference import Conference
+from repro.model.representation import Representation
+from repro.types import UNASSIGNED
+
+#: A transcoding task: (agent, source user, target representation).
+TranscodeTask = tuple[int, int, Representation]
+
+
+def active_transcodes(
+    conference: Conference,
+    assignment: Assignment,
+    sids: Iterable[int] | None = None,
+) -> set[TranscodeTask]:
+    """The set of active tasks ``{(l, u, r) : nu_lru = 1}``.
+
+    Restricted to the sessions in ``sids`` when given (the per-session
+    ``nu`` used by ``y_ls``); otherwise global.
+    """
+    if sids is None:
+        pair_indices: Iterable[int] = range(conference.theta_sum)
+    else:
+        pair_indices = [
+            i for sid in sids for i in conference.session_pair_indices(sid)
+        ]
+    tasks: set[TranscodeTask] = set()
+    pairs = conference.transcode_pairs
+    for i in pair_indices:
+        agent = assignment.task_agent_of(i)
+        if agent == UNASSIGNED:
+            continue
+        source, destination = pairs[i]
+        tasks.add((agent, source, conference.demanded_representation(source, destination)))
+    return tasks
+
+
+def transcode_counts(
+    conference: Conference,
+    assignment: Assignment,
+    sids: Iterable[int] | None = None,
+) -> np.ndarray:
+    """Per-agent counts of active tasks (``y_ls`` summed over ``sids``).
+
+    This is the left-hand side of constraint (7) when ``sids`` covers all
+    active sessions.
+    """
+    counts = np.zeros(conference.num_agents, dtype=np.int64)
+    for agent, _source, _rep in active_transcodes(conference, assignment, sids):
+        counts[agent] += 1
+    return counts
+
+
+def session_transcode_map(
+    conference: Conference, assignment: Assignment, sid: int
+) -> dict[int, dict[Representation, set[int]]]:
+    """For each source user of session ``sid``: representation -> the set of
+    agents transcoding that (user, representation) — the per-source ``nu``.
+
+    The inner sets usually hold one agent; they hold several when different
+    destinations demanding the same representation were assigned different
+    transcoding agents.
+    """
+    result: dict[int, dict[Representation, set[int]]] = defaultdict(
+        lambda: defaultdict(set)
+    )
+    pairs = conference.transcode_pairs
+    for i in conference.session_pair_indices(sid):
+        agent = assignment.task_agent_of(i)
+        if agent == UNASSIGNED:
+            continue
+        source, destination = pairs[i]
+        rep = conference.demanded_representation(source, destination)
+        result[source][rep].add(agent)
+    return {u: dict(reps) for u, reps in result.items()}
+
+
+def transcoding_agents_of(
+    conference: Conference, assignment: Assignment, sid: int, source: int
+) -> set[int]:
+    """Agents with ``nu'_{l,source} = 1`` within session ``sid``."""
+    agents: set[int] = set()
+    pairs = conference.transcode_pairs
+    for i in conference.session_pair_indices(sid):
+        if pairs[i][0] != source:
+            continue
+        agent = assignment.task_agent_of(i)
+        if agent != UNASSIGNED:
+            agents.add(agent)
+    return agents

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime infeasibility.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """A conference model is malformed or internally inconsistent."""
+
+
+class UnknownEntityError(ModelError):
+    """A user, session, agent or representation id does not exist."""
+
+
+class CapacityError(ReproError):
+    """An operation would violate an agent capacity constraint."""
+
+
+class InfeasibleError(ReproError):
+    """No feasible assignment exists (or none could be constructed).
+
+    Carries an optional :attr:`report` with the violated constraints of the
+    best candidate considered, to aid debugging of over-constrained
+    scenarios.
+    """
+
+    def __init__(self, message: str, report: object | None = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class ConvergenceError(ReproError):
+    """An iterative procedure failed to converge within its budget."""
+
+
+class SolverError(ReproError):
+    """A solver was misconfigured or applied to an unsupported instance."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event runtime reached an invalid state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner received invalid parameters."""

@@ -1,0 +1,18 @@
+"""Experiment harness: one runner per table/figure of the paper's Sec. V.
+
+Every runner is deterministic under its ``seed``, returns a result object
+with a ``format_report()`` method printing the paper-shaped rows/series,
+and is registered in :mod:`repro.experiments.registry` under the paper's
+artifact id (``fig4`` ... ``fig10``, ``table2``, plus the ``fig2`` /
+``fig3`` illustration instances and the ablation/validation experiments).
+
+Scale: the paper averages 100 random scenarios per data point in its
+Internet-scale experiments.  Runners accept ``num_scenarios`` and default
+to a laptop-friendly subset; set the environment variable
+``REPRO_SCENARIOS=100`` (or pass the parameter) to match the paper
+exactly.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]

@@ -1,0 +1,87 @@
+"""Shared experiment plumbing: result containers and scale control."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+#: Environment variable overriding the number of random scenarios.
+SCENARIOS_ENV = "REPRO_SCENARIOS"
+
+#: The paper quotes beta values (200/400) against its raw-unit objective,
+#: whose absolute scale is not disclosed.  Our default objective is
+#: normalized to O(1) per session (see ObjectiveWeights.normalized_for),
+#: so we map paper betas through a fixed calibration constant chosen such
+#: that beta=400 sits at the edge of near-greedy behaviour and beta=200
+#: visibly converges slower with larger fluctuations — the Fig. 4
+#: contrast.  Calibrated once on the prototype workload and used verbatim
+#: by every experiment.
+PAPER_BETA_CALIBRATION = 12.5
+
+
+def effective_beta(paper_beta: float) -> float:
+    """Map a paper-quoted beta onto the normalized-objective scale."""
+    if paper_beta <= 0:
+        raise ExperimentError(f"beta must be positive, got {paper_beta}")
+    return paper_beta / PAPER_BETA_CALIBRATION
+
+
+def scenarios_from_env(default: int) -> int:
+    """The scenario count: ``REPRO_SCENARIOS`` wins over ``default``.
+
+    The paper uses 100; runners default lower so the bench suite stays
+    laptop-friendly.
+    """
+    raw = os.environ.get(SCENARIOS_ENV, "")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise ExperimentError(f"{SCENARIOS_ENV}={raw!r} is not an integer") from error
+    if value < 1:
+        raise ExperimentError(f"{SCENARIOS_ENV} must be >= 1, got {value}")
+    return value
+
+
+@dataclass
+class SeriesBundle:
+    """Named (times, values) series of one experiment variant."""
+
+    label: str
+    series: dict[str, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+
+    def add(self, name: str, times: np.ndarray, values: np.ndarray) -> None:
+        self.series[name] = (np.asarray(times, float), np.asarray(values, float))
+
+    def get(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        try:
+            return self.series[name]
+        except KeyError:
+            raise ExperimentError(
+                f"bundle {self.label!r} has no series {name!r}; "
+                f"have {sorted(self.series)}"
+            ) from None
+
+    def csv_rows(self) -> list[str]:
+        """``label,series,t,value`` rows for offline plotting."""
+        rows = []
+        for name in sorted(self.series):
+            times, values = self.series[name]
+            rows.extend(
+                f"{self.label},{name},{t:.3f},{v:.6g}"
+                for t, v in zip(times, values)
+            )
+        return rows
+
+
+def percent_change(baseline: float, value: float) -> float:
+    """Signed percentage change from ``baseline`` to ``value`` (negative =
+    reduction), guarded against a zero baseline."""
+    if baseline == 0:
+        raise ExperimentError("cannot compute a percentage of a zero baseline")
+    return 100.0 * (value - baseline) / baseline

@@ -1,0 +1,128 @@
+"""Fig. 5 — Alg. 1 under session dynamics.
+
+6 sessions at t=0, 4 more arriving at t=40 s, 3 departing at t=80 s,
+beta=400.  Paper shape: traffic/delay step up at the arrival, drop at the
+departure, and the algorithm re-converges between events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.markov import MarkovConfig
+from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.errors import ExperimentError
+from repro.experiments.common import SeriesBundle, effective_beta
+from repro.runtime.dynamics import DynamicsSchedule
+from repro.runtime.simulation import (
+    ConferencingSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.workloads.prototype import prototype_conference
+
+
+@dataclass
+class Fig5Result:
+    bundle: SeriesBundle
+    simulation: SimulationResult
+    arrival_time_s: float
+    departure_time_s: float
+
+    def _window_mean(self, name: str, t_lo: float, t_hi: float) -> float:
+        times, values = self.bundle.get(name)
+        mask = (times >= t_lo) & (times < t_hi)
+        if not mask.any():
+            raise ExperimentError(f"no samples of {name!r} in [{t_lo}, {t_hi})")
+        return float(values[mask].mean())
+
+    def _value_at(self, name: str, t: float) -> float:
+        times, values = self.bundle.get(name)
+        idx = int(np.searchsorted(times, t, side="right")) - 1
+        idx = max(0, min(idx, len(values) - 1))
+        return float(values[idx])
+
+    def phase_rows(self) -> list[dict[str, object]]:
+        """One row per phase: the value right after the phase starts (the
+        jump/drop the paper plots) and the converged level at its end."""
+        t_arr, t_dep = self.arrival_time_s, self.departure_time_s
+        times, _ = self.bundle.get("traffic")
+        t_end = float(times[-1])
+        phases = [
+            ("initial (6 sessions)", 0.0, t_arr),
+            ("after arrival (10)", t_arr, t_dep),
+            ("after departure (7)", t_dep, t_end),
+        ]
+        rows = []
+        for label, lo, hi in phases:
+            tail_lo = max(lo, hi - 10.0)
+            rows.append(
+                {
+                    "phase": label,
+                    "traffic@start": self._value_at("traffic", lo + 1e-9),
+                    "traffic@end": self._window_mean("traffic", tail_lo, hi + 1e-9),
+                    "delay@start": self._value_at("delay", lo + 1e-9),
+                    "delay@end": self._window_mean("delay", tail_lo, hi + 1e-9),
+                    "sessions": self._value_at("sessions", lo + 1.0),
+                }
+            )
+        return rows
+
+    def format_report(self) -> str:
+        return render_table(
+            [
+                "phase",
+                "traffic@start",
+                "traffic@end",
+                "delay@start",
+                "delay@end",
+                "sessions",
+            ],
+            self.phase_rows(),
+            title="Fig. 5 - Alg. 1 (beta=400) under session arrival/departure "
+            "(traffic Mbps, delay ms; @end = mean of last 10 s)",
+        )
+
+
+def run_fig5(
+    seed: int = 7,
+    duration_s: float = 120.0,
+    arrival_time_s: float = 40.0,
+    departure_time_s: float = 80.0,
+    beta: float = 400.0,
+) -> Fig5Result:
+    """Run the Fig. 5 experiment: 6 initial sessions, +4 at the arrival
+    epoch, -3 at the departure epoch (sessions chosen deterministically)."""
+    conference = prototype_conference(seed=seed)
+    if conference.num_sessions < 10:
+        raise ExperimentError("the Fig. 5 scenario needs 10 sessions")
+    initial = tuple(range(6))
+    arriving = tuple(range(6, 10))
+    rng = np.random.default_rng(seed)
+    departing = tuple(int(s) for s in rng.choice(6, size=3, replace=False))
+
+    weights = ObjectiveWeights.normalized_for(conference)
+    evaluator = ObjectiveEvaluator(conference, weights)
+    schedule = DynamicsSchedule.fig5(
+        initial, arriving, departing, arrival_time_s, departure_time_s
+    )
+    config = SimulationConfig(
+        duration_s=duration_s,
+        markov=MarkovConfig(beta=effective_beta(beta)),
+        initial_policy="nearest",
+        seed=seed,
+    )
+    simulation = ConferencingSimulator(evaluator, schedule, config).run()
+    bundle = SeriesBundle(label="fig5")
+    for name in ("traffic", "delay", "sessions"):
+        times, values = simulation.series(name)
+        bundle.add(name, times, values)
+    return Fig5Result(
+        bundle=bundle,
+        simulation=simulation,
+        arrival_time_s=arrival_time_s,
+        departure_time_s=departure_time_s,
+    )

@@ -1,0 +1,103 @@
+"""Fig. 6 — Alg. 1 bootstrapped by AgRank (n_ngbr = 2).
+
+Same prototype substrate as Fig. 4 but 100 s long, with AgRank providing
+the initial assignment.  Paper shape: the initial traffic sits well below
+Nrst's (15 vs 22 Mbps in the paper), and the value reached by 100 s with
+AgRank matches what Nrst-boot needed 200 s to reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.core.agrank import AgRankConfig
+from repro.core.markov import MarkovConfig
+from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.experiments.common import SeriesBundle, effective_beta, percent_change
+from repro.experiments.fig4_convergence import run_fig4
+from repro.runtime.dynamics import DynamicsSchedule
+from repro.runtime.simulation import (
+    ConferencingSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.workloads.prototype import prototype_conference
+
+
+@dataclass
+class Fig6Result:
+    bundle: SeriesBundle
+    simulation: SimulationResult
+    nrst_initial_traffic: float
+    nrst_200s_traffic: float
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        _, traffic = self.bundle.get("traffic")
+        _, delay = self.bundle.get("delay")
+        return [
+            {
+                "quantity": "initial traffic (Mbps)",
+                "AgRank": float(traffic[0]),
+                "Nrst": self.nrst_initial_traffic,
+                "change (%)": percent_change(
+                    self.nrst_initial_traffic, float(traffic[0])
+                ),
+            },
+            {
+                "quantity": "traffic at end (Mbps)",
+                "AgRank": self.simulation.steady_state_mean("traffic"),
+                "Nrst": self.nrst_200s_traffic,
+                "change (%)": percent_change(
+                    self.nrst_200s_traffic,
+                    self.simulation.steady_state_mean("traffic"),
+                ),
+            },
+            {
+                "quantity": "initial delay (ms)",
+                "AgRank": float(delay[0]),
+                "Nrst": float("nan"),
+                "change (%)": float("nan"),
+            },
+        ]
+
+    def format_report(self) -> str:
+        return render_table(
+            ["quantity", "AgRank", "Nrst", "change (%)"],
+            self.summary_rows(),
+            title="Fig. 6 - AgRank(n_ngbr=2) bootstrap vs Nrst (100 s vs 200 s)",
+        )
+
+
+def run_fig6(
+    seed: int = 7,
+    duration_s: float = 100.0,
+    beta: float = 400.0,
+    n_ngbr: int = 2,
+) -> Fig6Result:
+    """Run Fig. 6 and compare against the Fig. 4 (beta=400) baseline."""
+    conference = prototype_conference(seed=seed)
+    weights = ObjectiveWeights.normalized_for(conference)
+    evaluator = ObjectiveEvaluator(conference, weights)
+    schedule = DynamicsSchedule.static(range(conference.num_sessions))
+    config = SimulationConfig(
+        duration_s=duration_s,
+        markov=MarkovConfig(beta=effective_beta(beta)),
+        initial_policy="agrank",
+        agrank=AgRankConfig(n_ngbr=n_ngbr),
+        seed=seed,
+    )
+    simulation = ConferencingSimulator(evaluator, schedule, config).run()
+    bundle = SeriesBundle(label=f"agrank#{n_ngbr}")
+    for name in ("traffic", "delay"):
+        times, values = simulation.series(name)
+        bundle.add(name, times, values)
+
+    baseline = run_fig4(seed=seed, betas=(beta,), duration_s=2 * duration_s)
+    nrst_sim = baseline.simulations[beta]
+    return Fig6Result(
+        bundle=bundle,
+        simulation=simulation,
+        nrst_initial_traffic=nrst_sim.initial_value("traffic"),
+        nrst_200s_traffic=nrst_sim.steady_state_mean("traffic"),
+    )

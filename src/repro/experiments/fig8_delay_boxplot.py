@@ -1,0 +1,84 @@
+"""Fig. 8 — box plots of conferencing delay across the alpha sweep.
+
+Panel (a): Nrst initialization — boxes for [Nrst init, a2=0, a1=a2, a1=0];
+panel (b): the same for AgRank.  Paper shape: the delay-only mix gives the
+lowest boxes, traffic-only the highest, the hybrid in between and close to
+delay-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import BoxStats, box_stats
+from repro.analysis.tables import render_table
+from repro.experiments.alpha_sweep import (
+    ALPHA_CONFIGS,
+    POLICIES,
+    SweepOutcome,
+    delays_of,
+    run_alpha_sweep,
+)
+from repro.experiments.common import scenarios_from_env
+from repro.workloads.scenarios import ScenarioParams
+
+_COLUMNS = ("init",) + tuple(label for label, *_ in ALPHA_CONFIGS)
+
+
+@dataclass
+class Fig8Result:
+    outcomes: list[SweepOutcome]
+    num_scenarios: int
+    boxes: dict[tuple[str, str], BoxStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for policy in POLICIES:
+            for column in _COLUMNS:
+                sample = delays_of(self.outcomes, policy, column)
+                self.boxes[(policy, column)] = box_stats(sample)
+
+    def panel_rows(self, policy: str) -> list[dict[str, object]]:
+        rows = []
+        for column in _COLUMNS:
+            box = self.boxes[(policy, column)]
+            row: dict[str, object] = {"config": column}
+            row.update(box.row())
+            rows.append(row)
+        return rows
+
+    def format_report(self) -> str:
+        parts = []
+        for policy, label in (("nearest", "(a) Nrst"), ("agrank", "(b) AgRank")):
+            parts.append(
+                render_table(
+                    ["config", "lo_whisker", "q1", "median", "q3", "hi_whisker", "mean"],
+                    self.panel_rows(policy),
+                    title=f"Fig. 8 {label} - conferencing delay (ms), "
+                    f"{self.num_scenarios} scenarios",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_fig8(
+    num_scenarios: int | None = None,
+    first_seed: int = 1000,
+    beta: float = 400.0,
+    hops_per_session: int = 40,
+    params: ScenarioParams | None = None,
+    outcomes: list[SweepOutcome] | None = None,
+) -> Fig8Result:
+    """Run (or reuse) the alpha sweep and compute the delay boxes.
+
+    Pass ``outcomes`` from a Table II run to avoid recomputing the sweep.
+    """
+    count = num_scenarios if num_scenarios is not None else scenarios_from_env(8)
+    if outcomes is None:
+        outcomes = run_alpha_sweep(
+            num_scenarios=count,
+            first_seed=first_seed,
+            params=params,
+            beta=beta,
+            hops_per_session=hops_per_session,
+        )
+    return Fig8Result(outcomes=outcomes, num_scenarios=count)

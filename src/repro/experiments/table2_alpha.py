@@ -1,0 +1,129 @@
+"""Table II — the impact of the design parameters alpha on Alg. 1.
+
+Paper layout (mean over 100 random scenarios):
+
+=========  =======  =====  ==============  ======  ==============
+Alg./Cost           Init.  a2=0 (delay)    a1=a2   a1=0 (traffic)
+=========  =======  =====  ==============  ======  ==============
+Nrst       Traffic   1443             979     829             521
+           Delay      166             149     150             209
+AgRank     Traffic    384             499     335             296
+           Delay      176             162     163             214
+=========  =======  =====  ==============  ======  ==============
+
+Shape targets: Alg.1 + AgRank under the hybrid objective cuts traffic by
+~77 % versus Nrst-init with comparable (paper: slightly lower) delay;
+Alg.1 + Nrst cuts ~42 %; AgRank alone cuts ~73 % at a small delay penalty;
+the traffic-only mix gives the lowest traffic but the highest delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import render_table
+from repro.experiments.alpha_sweep import (
+    ALPHA_CONFIGS,
+    POLICIES,
+    SweepOutcome,
+    aggregate,
+    run_alpha_sweep,
+)
+from repro.experiments.common import scenarios_from_env
+from repro.workloads.scenarios import ScenarioParams
+
+#: Paper's Table II means, for side-by-side comparison in reports.
+PAPER_TABLE2 = {
+    ("nearest", "init"): (1443.0, 166.0),
+    ("nearest", "a2=0 (delay only)"): (979.0, 149.0),
+    ("nearest", "a1=a2"): (829.0, 150.0),
+    ("nearest", "a1=0 (traffic only)"): (521.0, 209.0),
+    ("agrank", "init"): (384.0, 176.0),
+    ("agrank", "a2=0 (delay only)"): (499.0, 162.0),
+    ("agrank", "a1=a2"): (335.0, 163.0),
+    ("agrank", "a1=0 (traffic only)"): (296.0, 214.0),
+}
+
+_POLICY_LABEL = {"nearest": "Nrst", "agrank": "AgRank"}
+_COLUMNS = ("init",) + tuple(label for label, *_ in ALPHA_CONFIGS)
+
+
+@dataclass
+class Table2Result:
+    outcomes: list[SweepOutcome]
+    num_scenarios: int
+    cells: dict[tuple[str, str], tuple[float, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for policy in POLICIES:
+            for column in _COLUMNS:
+                self.cells[(policy, column)] = aggregate(
+                    self.outcomes, policy, column
+                )
+
+    def reduction_vs_nrst_init(self, policy: str, column: str) -> tuple[float, float]:
+        """(traffic reduction %, delay reduction %) vs the Nrst initial."""
+        base_traffic, base_delay = self.cells[("nearest", "init")]
+        traffic, delay = self.cells[(policy, column)]
+        return (
+            100.0 * (base_traffic - traffic) / base_traffic,
+            100.0 * (base_delay - delay) / base_delay,
+        )
+
+    def rows(self) -> list[dict[str, object]]:
+        rows = []
+        for policy in POLICIES:
+            for metric, index in (("Traffic", 0), ("Delay", 1)):
+                row: dict[str, object] = {
+                    "Alg.": _POLICY_LABEL[policy],
+                    "Cost": metric,
+                }
+                for column in _COLUMNS:
+                    row[column] = self.cells[(policy, column)][index]
+                rows.append(row)
+        return rows
+
+    def format_report(self) -> str:
+        table = render_table(
+            ["Alg.", "Cost"] + list(_COLUMNS),
+            self.rows(),
+            precision=0,
+            title=(
+                f"Table II - impact of alpha on Alg. 1 "
+                f"(mean of {self.num_scenarios} scenarios; paper uses 100)"
+            ),
+        )
+        def change_line(policy: str, column: str) -> str:
+            t_red, d_red = self.reduction_vs_nrst_init(policy, column)
+            return f"traffic {-t_red:+.0f}%, delay {-d_red:+.0f}%"
+
+        lines = [
+            table,
+            "",
+            f"Alg.1+AgRank (a1=a2) vs Nrst init: {change_line('agrank', 'a1=a2')} "
+            "(paper: traffic -77%, delay -2%)",
+            f"Alg.1+Nrst   (a1=a2) vs Nrst init: {change_line('nearest', 'a1=a2')} "
+            "(paper: traffic -42%, delay -10%)",
+            f"AgRank init          vs Nrst init: {change_line('agrank', 'init')} "
+            "(paper: traffic -73%, delay +6%)",
+        ]
+        return "\n".join(lines)
+
+
+def run_table2(
+    num_scenarios: int | None = None,
+    first_seed: int = 1000,
+    beta: float = 400.0,
+    hops_per_session: int = 40,
+    params: ScenarioParams | None = None,
+) -> Table2Result:
+    """Run the Table II sweep (``REPRO_SCENARIOS`` overrides the count)."""
+    count = num_scenarios if num_scenarios is not None else scenarios_from_env(8)
+    outcomes = run_alpha_sweep(
+        num_scenarios=count,
+        first_seed=first_seed,
+        params=params,
+        beta=beta,
+        hops_per_session=hops_per_session,
+    )
+    return Table2Result(outcomes=outcomes, num_scenarios=count)

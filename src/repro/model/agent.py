@@ -1,0 +1,123 @@
+"""Cloud agents (paper Sec. II).
+
+An agent is a VM leased in a cloud site, described by the quadruple
+``{u_l, d_l, t_l, sigma_l(.)}``: upload capacity (Mbps), download capacity
+(Mbps), transcoding capacity (concurrent tasks) and a transcoding-latency
+function increasing in the bitrates of both the input and the output
+representation.  The paper's prototype draws transcoding latencies from
+[30, 60] ms depending on the instance's processing capability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ModelError
+from repro.model.representation import Representation
+
+#: Envelope of per-task transcoding latencies reported for the prototype.
+PROTOTYPE_LATENCY_RANGE_MS: tuple[float, float] = (30.0, 60.0)
+
+
+@runtime_checkable
+class TranscodingLatencyModel(Protocol):
+    """``sigma_l(r1, r2)`` — transcoding latency in ms, increasing in both
+    the input and the output bitrate."""
+
+    def __call__(self, source: Representation, target: Representation) -> float:
+        """Return the latency of transcoding ``source`` into ``target``."""
+        ...
+
+
+@dataclass(frozen=True)
+class LinearTranscodingLatency:
+    """A latency model affine in the input and output bitrates.
+
+    ``sigma(r1, r2) = base_ms + ms_per_input_mbps * kappa(r1)
+    + ms_per_output_mbps * kappa(r2)``, all divided by ``speed`` — the
+    relative processing capability of the agent (1.0 = reference instance,
+    2.0 = twice as fast).
+
+    The defaults are chosen so that a reference agent transcoding within the
+    paper ladder lands inside the prototype's [30, 60] ms envelope.
+    """
+
+    base_ms: float = 24.0
+    ms_per_input_mbps: float = 1.6
+    ms_per_output_mbps: float = 2.4
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_ms < 0 or self.ms_per_input_mbps < 0 or self.ms_per_output_mbps < 0:
+            raise ModelError("latency coefficients must be non-negative")
+        if self.speed <= 0:
+            raise ModelError(f"speed must be positive, got {self.speed}")
+
+    def __call__(self, source: Representation, target: Representation) -> float:
+        raw = (
+            self.base_ms
+            + self.ms_per_input_mbps * source.bitrate_mbps
+            + self.ms_per_output_mbps * target.bitrate_mbps
+        )
+        return raw / self.speed
+
+    def reference_latency_ms(self) -> float:
+        """Latency of a 5 Mbps -> 2.5 Mbps transcode (a typical task)."""
+        return (self.base_ms + 5.0 * self.ms_per_input_mbps + 2.5 * self.ms_per_output_mbps) / self.speed
+
+
+@dataclass(frozen=True)
+class Agent:
+    """A cloud agent VM (the paper's quadruple, plus bookkeeping fields).
+
+    Attributes
+    ----------
+    aid:
+        Dense integer id, unique across the conference.
+    upload_mbps / download_mbps:
+        ``u_l`` / ``d_l`` — bandwidth capacities; ``math.inf`` models the
+        "large enough" capacities of the prototype experiments.
+    transcode_slots:
+        ``t_l`` — number of concurrent transcoding tasks; may be ``inf``.
+    latency:
+        ``sigma_l(., .)`` — the transcoding latency model.
+    name / region:
+        Human-readable labels (e.g. ``"TO"`` / ``"ap-northeast-1"``).
+    egress_price_per_gb:
+        Optional dollar price of egress bandwidth at this site, used by the
+        pricing substrate to express G(x) in dollars rather than Mbps.
+    """
+
+    aid: int
+    upload_mbps: float = math.inf
+    download_mbps: float = math.inf
+    transcode_slots: float = math.inf
+    latency: TranscodingLatencyModel = field(default_factory=LinearTranscodingLatency)
+    name: str = ""
+    region: str = ""
+    egress_price_per_gb: float = 0.09
+
+    def __post_init__(self) -> None:
+        if self.aid < 0:
+            raise ModelError(f"agent id must be non-negative, got {self.aid}")
+        for label, value in (
+            ("upload_mbps", self.upload_mbps),
+            ("download_mbps", self.download_mbps),
+            ("transcode_slots", self.transcode_slots),
+        ):
+            if not (value >= 0):  # also rejects NaN
+                raise ModelError(f"agent {self.aid}: {label} must be >= 0, got {value}")
+        if not self.name:
+            object.__setattr__(self, "name", f"a{self.aid}")
+
+    def transcoding_latency_ms(self, source: Representation, target: Representation) -> float:
+        """``sigma_l(r1, r2)`` in milliseconds."""
+        return self.latency(source, target)
+
+    def __str__(self) -> str:
+        up = "inf" if math.isinf(self.upload_mbps) else f"{self.upload_mbps:g}"
+        down = "inf" if math.isinf(self.download_mbps) else f"{self.download_mbps:g}"
+        slots = "inf" if math.isinf(self.transcode_slots) else f"{self.transcode_slots:g}"
+        return f"{self.name}(up={up},down={down},slots={slots})"

@@ -1,0 +1,164 @@
+"""Fluent construction of :class:`~repro.model.conference.Conference`.
+
+The builder assigns dense ids automatically and lets workload generators and
+tests express scenarios compactly::
+
+    builder = ConferenceBuilder(PAPER_LADDER)
+    oregon = builder.add_agent(name="OR", upload_mbps=500, download_mbps=500)
+    tokyo = builder.add_agent(name="TO")
+    alice = builder.user(upstream="720p", downstream="480p", name="alice")
+    bob = builder.user(upstream="480p", downstream="720p", name="bob")
+    builder.add_session(alice, bob)
+    conference = builder.build(topology)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.agent import Agent, LinearTranscodingLatency, TranscodingLatencyModel
+from repro.model.conference import Conference
+from repro.model.representation import Representation, RepresentationSet
+from repro.model.topology import Topology
+from repro.model.user import Session, User
+from repro.types import DEFAULT_DMAX_MS
+
+
+class ConferenceBuilder:
+    """Accumulates agents, users and sessions, then builds a Conference."""
+
+    def __init__(self, representations: RepresentationSet, dmax_ms: float = DEFAULT_DMAX_MS):
+        self._representations = representations
+        self._dmax_ms = dmax_ms
+        self._agents: list[Agent] = []
+        self._users: list[User] = []
+        self._sessions: list[Session] = []
+
+    # ------------------------------------------------------------------ #
+    # Agents                                                             #
+    # ------------------------------------------------------------------ #
+
+    def add_agent(
+        self,
+        name: str = "",
+        region: str = "",
+        upload_mbps: float = math.inf,
+        download_mbps: float = math.inf,
+        transcode_slots: float = math.inf,
+        latency: TranscodingLatencyModel | None = None,
+        speed: float = 1.0,
+        egress_price_per_gb: float = 0.09,
+    ) -> int:
+        """Add an agent and return its id.
+
+        ``speed`` builds a :class:`LinearTranscodingLatency` scaled by the
+        agent's processing capability when no explicit ``latency`` model is
+        given.
+        """
+        if latency is None:
+            latency = LinearTranscodingLatency(speed=speed)
+        agent = Agent(
+            aid=len(self._agents),
+            upload_mbps=upload_mbps,
+            download_mbps=download_mbps,
+            transcode_slots=transcode_slots,
+            latency=latency,
+            name=name,
+            region=region,
+            egress_price_per_gb=egress_price_per_gb,
+        )
+        self._agents.append(agent)
+        return agent.aid
+
+    # ------------------------------------------------------------------ #
+    # Users and sessions                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _resolve(self, rep: Representation | str) -> Representation:
+        if isinstance(rep, str):
+            return self._representations[rep]
+        if rep not in self._representations:
+            raise ModelError(f"{rep} is not in the builder's representation set")
+        return rep
+
+    def user(
+        self,
+        upstream: Representation | str,
+        downstream: Representation | str | None = None,
+        name: str = "",
+        site: str = "",
+        downstream_overrides: dict[int, Representation | str] | None = None,
+    ) -> int:
+        """Add a user and return its id.
+
+        ``downstream`` defaults to the upstream representation (the user
+        demands what it produces, i.e. no transcoding towards it unless a
+        source differs).
+        """
+        up = self._resolve(upstream)
+        down = self._resolve(downstream) if downstream is not None else up
+        overrides = {
+            src: self._resolve(rep) for src, rep in (downstream_overrides or {}).items()
+        }
+        user = User(
+            uid=len(self._users),
+            upstream=up,
+            downstream_default=down,
+            downstream_overrides=overrides,
+            name=name,
+            site=site,
+        )
+        self._users.append(user)
+        return user.uid
+
+    def add_session(self, *user_ids: int, initiator: int = -1, name: str = "") -> int:
+        """Group previously added users into a session; returns session id."""
+        for uid in user_ids:
+            if not 0 <= uid < len(self._users):
+                raise ModelError(f"unknown user id {uid} in session")
+        session = Session(
+            sid=len(self._sessions),
+            user_ids=tuple(user_ids),
+            initiator=initiator,
+            name=name,
+        )
+        self._sessions.append(session)
+        return session.sid
+
+    # ------------------------------------------------------------------ #
+    # Build                                                              #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_users(self) -> int:
+        return len(self._users)
+
+    @property
+    def num_agents(self) -> int:
+        return len(self._agents)
+
+    def build(self, topology: Topology | None = None, *,
+              inter_agent_ms: np.ndarray | None = None,
+              agent_user_ms: np.ndarray | None = None) -> Conference:
+        """Create the Conference.
+
+        Either pass a ready :class:`Topology` or the raw ``D`` / ``H``
+        matrices.
+        """
+        if topology is None:
+            if inter_agent_ms is None or agent_user_ms is None:
+                raise ModelError(
+                    "build() needs a Topology or both inter_agent_ms and agent_user_ms"
+                )
+            topology = Topology(inter_agent_ms, agent_user_ms)
+        return Conference(
+            users=self._users,
+            sessions=self._sessions,
+            agents=self._agents,
+            topology=topology,
+            representations=self._representations,
+            dmax_ms=self._dmax_ms,
+        )

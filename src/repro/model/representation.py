@@ -1,0 +1,124 @@
+"""Video stream representations (paper Sec. II).
+
+A *representation* is a specific configuration of format, encoding bitrate
+and spatial/temporal resolution.  The paper's evaluation uses the YouTube
+ladder — (360p, 1 Mbps), (480p, 2.5 Mbps), (720p, 5 Mbps), (1080p, 8 Mbps) —
+plus 240p, which appears in the prototype's migration-overhead measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ModelError, UnknownEntityError
+
+
+@dataclass(frozen=True, order=True)
+class Representation:
+    """One stream configuration; ordered by bitrate (then name).
+
+    Attributes
+    ----------
+    bitrate_mbps:
+        Encoding bitrate ``kappa(r)`` in Mbps.  Listed first so that the
+        generated ordering compares representations by quality.
+    name:
+        Human-readable label, e.g. ``"720p"``.
+    height:
+        Vertical resolution in pixels (informational).
+    """
+
+    bitrate_mbps: float
+    name: str = field(compare=True)
+    height: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bitrate_mbps <= 0:
+            raise ModelError(
+                f"representation {self.name!r} must have positive bitrate, "
+                f"got {self.bitrate_mbps}"
+            )
+
+    @property
+    def kappa(self) -> float:
+        """The paper's ``kappa(r)``: the bitrate of this representation."""
+        return self.bitrate_mbps
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.bitrate_mbps}Mbps"
+
+
+class RepresentationSet:
+    """An ordered, name-indexed collection of representations (the set R).
+
+    Iteration order is ascending quality.  Lookup is by name
+    (``ladder["720p"]``) or by position (``ladder.at(2)``).
+    """
+
+    def __init__(self, representations: Iterator[Representation] | list[Representation]):
+        reps = sorted(representations)
+        if not reps:
+            raise ModelError("a representation set cannot be empty")
+        names = [r.name for r in reps]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate representation names: {names}")
+        self._reps: tuple[Representation, ...] = tuple(reps)
+        self._by_name: dict[str, Representation] = {r.name: r for r in reps}
+        self._index: dict[Representation, int] = {r: i for i, r in enumerate(reps)}
+
+    def __len__(self) -> int:
+        return len(self._reps)
+
+    def __iter__(self) -> Iterator[Representation]:
+        return iter(self._reps)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Representation):
+            return item in self._index
+        if isinstance(item, str):
+            return item in self._by_name
+        return False
+
+    def __getitem__(self, name: str) -> Representation:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownEntityError(
+                f"unknown representation {name!r}; known: {sorted(self._by_name)}"
+            ) from None
+
+    def at(self, index: int) -> Representation:
+        """Return the representation at quality rank ``index`` (ascending)."""
+        return self._reps[index]
+
+    def index_of(self, rep: Representation) -> int:
+        """Return the quality rank of ``rep`` within this set."""
+        try:
+            return self._index[rep]
+        except KeyError:
+            raise UnknownEntityError(f"{rep} is not part of this set") from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self._reps)
+
+    @property
+    def max_bitrate(self) -> float:
+        return self._reps[-1].bitrate_mbps
+
+    def __repr__(self) -> str:
+        return f"RepresentationSet({', '.join(map(str, self._reps))})"
+
+
+#: The ladder used throughout the paper's evaluation (Sec. V-B), with the
+#: 240p entry from the prototype's migration-overhead discussion (Sec. V-A).
+PAPER_LADDER = RepresentationSet(
+    [
+        Representation(0.4, "240p", 240),
+        Representation(1.0, "360p", 360),
+        Representation(2.5, "480p", 480),
+        Representation(5.0, "720p", 720),
+        Representation(8.0, "1080p", 1080),
+    ]
+)

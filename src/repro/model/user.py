@@ -1,0 +1,118 @@
+"""Users and sessions (paper Sec. II).
+
+Each user belongs to exactly one session, produces one upstream
+representation ``r^u_u``, and demands a downstream representation
+``r^d_{uv}`` for the stream of every other participant ``v``.  In the
+paper's workloads a user demands the same representation from everyone
+(80 % demand 720p), so :class:`User` stores a default demand plus optional
+per-source overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ModelError
+from repro.model.representation import Representation
+
+
+@dataclass(frozen=True)
+class User:
+    """A conference participant.
+
+    Attributes
+    ----------
+    uid:
+        Dense integer id, unique across the conference.
+    upstream:
+        ``r^u_u`` — the representation this user produces.
+    downstream_default:
+        The representation this user demands from any source for which no
+        override is given.
+    downstream_overrides:
+        Optional per-source demands, keyed by the source user's ``uid``.
+    name:
+        Human-readable label (defaults to ``"u<uid>"``).
+    site:
+        Optional name of the geographic site the user connects from
+        (used by the latency substrate; informational here).
+    """
+
+    uid: int
+    upstream: Representation
+    downstream_default: Representation
+    downstream_overrides: Mapping[int, Representation] = field(default_factory=dict)
+    name: str = ""
+    site: str = ""
+
+    def __post_init__(self) -> None:
+        if self.uid < 0:
+            raise ModelError(f"user id must be non-negative, got {self.uid}")
+        if not self.name:
+            object.__setattr__(self, "name", f"u{self.uid}")
+
+    def downstream_from(self, source_uid: int) -> Representation:
+        """``r^d_{u,source}`` — the representation demanded from ``source``."""
+        return self.downstream_overrides.get(source_uid, self.downstream_default)
+
+    def __str__(self) -> str:
+        return f"{self.name}(up={self.upstream.name})"
+
+
+@dataclass(frozen=True)
+class Session:
+    """A conferencing session: a group of users who all exchange streams.
+
+    Attributes
+    ----------
+    sid:
+        Dense integer id, unique across the conference.
+    user_ids:
+        The ``uid`` values of the participants, in ascending order.
+    initiator:
+        The ``uid`` of the session initiator (whose agent runs Alg. 1 and
+        AgRank for the session).  Defaults to the first participant.
+    name:
+        Human-readable label (defaults to ``"s<sid>"``).
+    """
+
+    sid: int
+    user_ids: tuple[int, ...]
+    initiator: int = -1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sid < 0:
+            raise ModelError(f"session id must be non-negative, got {self.sid}")
+        if len(self.user_ids) < 2:
+            raise ModelError(
+                f"session {self.sid} needs at least 2 users, got {len(self.user_ids)}"
+            )
+        ordered = tuple(sorted(self.user_ids))
+        if len(set(ordered)) != len(ordered):
+            raise ModelError(f"session {self.sid} has duplicate users: {self.user_ids}")
+        object.__setattr__(self, "user_ids", ordered)
+        if self.initiator < 0:
+            object.__setattr__(self, "initiator", ordered[0])
+        elif self.initiator not in ordered:
+            raise ModelError(
+                f"initiator {self.initiator} is not a participant of session {self.sid}"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", f"s{self.sid}")
+
+    def __len__(self) -> int:
+        return len(self.user_ids)
+
+    def __contains__(self, uid: object) -> bool:
+        return uid in self.user_ids
+
+    def others(self, uid: int) -> tuple[int, ...]:
+        """``P(u)`` — the other participants of ``uid``'s session."""
+        if uid not in self.user_ids:
+            raise ModelError(f"user {uid} is not in session {self.sid}")
+        return tuple(v for v in self.user_ids if v != uid)
+
+    def __str__(self) -> str:
+        return f"{self.name}({len(self)} users)"

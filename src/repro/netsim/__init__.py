@@ -1,0 +1,49 @@
+"""Network measurement substrate.
+
+The paper drives its Internet-scale experiments with RTTs measured between
+256 PlanetLab nodes and 7 Amazon EC2 instances over five weeks.  Those
+traces are not redistributable, so this package synthesizes delay matrices
+with the same structural properties (see DESIGN.md, substitution table):
+
+* :mod:`repro.netsim.geo` — great-circle geometry;
+* :mod:`repro.netsim.sites` — catalogs of user sites (PlanetLab-like,
+  weighted towards North America / Europe / Asia) and cloud regions
+  (2015-era EC2);
+* :mod:`repro.netsim.latency` — the RTT synthesis model: propagation at
+  2/3 c over an inflated great-circle route, plus last-mile penalties and
+  jitter, deterministic under a seed;
+* :mod:`repro.netsim.noise` — measurement-perturbation models matching the
+  quantized error model of Theorem 1;
+* :mod:`repro.netsim.measurement` — the provider's *measured* view of a
+  conference (perturbed D/H and transcoding speeds), for optimizing
+  against measurements while scoring against the truth (ablation A8);
+* :mod:`repro.netsim.pricing` — per-region egress pricing, to express the
+  bandwidth cost G(x) in dollars.
+"""
+
+from repro.netsim.geo import GeoPoint, great_circle_km
+from repro.netsim.latency import LatencyModel, LatencySample
+from repro.netsim.measurement import MeasurementErrorModel, measured_conference
+from repro.netsim.noise import GaussianNoise, NoiseModel, NoNoise, QuantizedPerturbation
+from repro.netsim.pricing import RegionPricing, dollar_cost_functions, egress_cost_per_hour
+from repro.netsim.sites import CLOUD_REGIONS, USER_SITES, CloudRegion, UserSite
+
+__all__ = [
+    "CLOUD_REGIONS",
+    "CloudRegion",
+    "GaussianNoise",
+    "GeoPoint",
+    "LatencyModel",
+    "LatencySample",
+    "MeasurementErrorModel",
+    "NoNoise",
+    "NoiseModel",
+    "QuantizedPerturbation",
+    "RegionPricing",
+    "USER_SITES",
+    "UserSite",
+    "dollar_cost_functions",
+    "egress_cost_per_hour",
+    "great_circle_km",
+    "measured_conference",
+]

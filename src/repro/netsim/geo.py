@@ -1,0 +1,35 @@
+"""Great-circle geometry for the latency substrate."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+#: Mean Earth radius in kilometres.
+EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the Earth's surface (degrees)."""
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ModelError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ModelError(f"longitude out of range: {self.longitude}")
+
+
+def great_circle_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Haversine great-circle distance between two points, in km."""
+    lat1, lon1 = math.radians(a.latitude), math.radians(a.longitude)
+    lat2, lon2 = math.radians(b.latitude), math.radians(b.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))

@@ -1,0 +1,172 @@
+"""Synthetic one-way delay matrices (substitute for PlanetLab/EC2 traces).
+
+The model, per path ``a -> b``:
+
+``delay_ms = distance_km / (2/3 c) * inflation(a, b) + lastmile(a) + lastmile(b)``
+
+* Propagation runs at two-thirds of the speed of light (silica fiber).
+* ``inflation`` is a deterministic, pair-specific factor >= 1 drawn
+  log-normally around 1.6 — real Internet routes detour around oceans and
+  exchange points; trans-continental paths inflate less (they follow
+  near-great-circle submarine cables) than short regional paths.
+* ``lastmile`` adds a per-endpoint access penalty: small for cloud regions
+  (well-peered data centers), larger and more variable for user sites.
+
+The resulting matrices reproduce the properties the algorithms care about:
+regional clustering, 10–300 ms magnitudes, symmetric D with zero diagonal,
+and user sites that are close to one agent yet far from the session's other
+members (the situation that makes nearest-assignment suboptimal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.netsim.geo import GeoPoint, great_circle_km
+from repro.netsim.sites import CloudRegion, UserSite
+
+#: Propagation speed in fiber, km per ms (2/3 of c).
+FIBER_KM_PER_MS = 199.86
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One synthesized path delay and its components (for inspection)."""
+
+    distance_km: float
+    propagation_ms: float
+    inflation: float
+    lastmile_ms: float
+
+    @property
+    def one_way_ms(self) -> float:
+        return self.propagation_ms * self.inflation + self.lastmile_ms
+
+
+class LatencyModel:
+    """Deterministic synthetic latency generator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the internal generator; the same seed always produces the
+        same matrices for the same site lists.
+    mean_inflation:
+        Median of the log-normal route-inflation factor.
+    inflation_sigma:
+        Log-space standard deviation of the inflation factor.
+    user_lastmile_ms:
+        ``(low, high)`` uniform range of the per-user access penalty.
+    agent_lastmile_ms:
+        ``(low, high)`` uniform range of the per-region access penalty.
+    min_floor_ms:
+        Lower bound applied to every off-diagonal delay (even co-located
+        endpoints traverse a metro network).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        mean_inflation: float = 1.6,
+        inflation_sigma: float = 0.18,
+        user_lastmile_ms: tuple[float, float] = (2.0, 12.0),
+        agent_lastmile_ms: tuple[float, float] = (0.3, 1.5),
+        min_floor_ms: float = 0.5,
+    ):
+        if mean_inflation < 1.0:
+            raise ModelError(f"route inflation must be >= 1, got {mean_inflation}")
+        if inflation_sigma < 0:
+            raise ModelError("inflation_sigma must be >= 0")
+        self._seed = seed
+        self._mean_inflation = mean_inflation
+        self._inflation_sigma = inflation_sigma
+        self._user_lastmile = user_lastmile_ms
+        self._agent_lastmile = agent_lastmile_ms
+        self._min_floor = min_floor_ms
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _pair_rng(self, tag: int, i: int, j: int) -> np.random.Generator:
+        """A generator keyed on the unordered pair, so D is symmetric."""
+        lo, hi = (i, j) if i <= j else (j, i)
+        return np.random.default_rng((self._seed, tag, lo, hi))
+
+    def _inflation(self, tag: int, i: int, j: int, distance_km: float) -> float:
+        rng = self._pair_rng(tag, i, j)
+        draw = float(rng.lognormal(mean=np.log(self._mean_inflation), sigma=self._inflation_sigma))
+        # Long submarine paths hew closer to great circles; short hops detour more.
+        if distance_km > 6000.0:
+            draw = 1.0 + (draw - 1.0) * 0.75
+        elif distance_km < 500.0:
+            draw = 1.0 + (draw - 1.0) * 1.5
+        return max(1.0, draw)
+
+    def _lastmile(self, tag: int, index: int, bounds: tuple[float, float]) -> float:
+        rng = np.random.default_rng((self._seed, tag, index))
+        return float(rng.uniform(*bounds))
+
+    def sample_path(
+        self,
+        a: GeoPoint,
+        b: GeoPoint,
+        tag: int,
+        i: int,
+        j: int,
+        lastmile_ms: float,
+    ) -> LatencySample:
+        """Synthesize one path; exposed for tests and inspection."""
+        distance = great_circle_km(a, b)
+        propagation = distance / FIBER_KM_PER_MS
+        inflation = self._inflation(tag, i, j, distance)
+        return LatencySample(
+            distance_km=distance,
+            propagation_ms=propagation,
+            inflation=inflation,
+            lastmile_ms=lastmile_ms,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Matrix synthesis                                                   #
+    # ------------------------------------------------------------------ #
+
+    def inter_agent_matrix(self, regions: list[CloudRegion]) -> np.ndarray:
+        """The L x L one-way delay matrix D (symmetric, zero diagonal)."""
+        count = len(regions)
+        matrix = np.zeros((count, count), dtype=float)
+        for i in range(count):
+            for j in range(i + 1, count):
+                lastmile = self._lastmile(10, i, self._agent_lastmile) + self._lastmile(
+                    10, j, self._agent_lastmile
+                )
+                sample = self.sample_path(
+                    regions[i].point, regions[j].point, tag=1, i=i, j=j, lastmile_ms=lastmile
+                )
+                matrix[i, j] = matrix[j, i] = max(self._min_floor, sample.one_way_ms)
+        return matrix
+
+    def agent_user_matrix(
+        self, regions: list[CloudRegion], sites: list[UserSite]
+    ) -> np.ndarray:
+        """The L x U one-way delay matrix H."""
+        matrix = np.zeros((len(regions), len(sites)), dtype=float)
+        for l, reg in enumerate(regions):
+            agent_tail = self._lastmile(10, l, self._agent_lastmile)
+            for u, site in enumerate(sites):
+                user_tail = self._lastmile(11, u, self._user_lastmile)
+                sample = self.sample_path(
+                    reg.point, site.point, tag=2, i=l, j=len(regions) + u,
+                    lastmile_ms=agent_tail + user_tail,
+                )
+                matrix[l, u] = max(self._min_floor, sample.one_way_ms)
+        return matrix
+
+    def matrices(
+        self, regions: list[CloudRegion], sites: list[UserSite]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Convenience: ``(D, H)`` for the given regions and user sites."""
+        return self.inter_agent_matrix(regions), self.agent_user_matrix(regions, sites)

@@ -1,0 +1,123 @@
+"""Topology-level measurement error (paper Sec. IV-A.4, the mechanism).
+
+The provider *measures* RTTs (the paper pings once per second for five
+weeks) and transcoding latencies; Alg. 1 then optimizes against the
+measured values while users experience the true ones.  This module builds
+the "measured" view of a conference: the same users/sessions/agents with
+independently perturbed delay matrices and transcoding-latency models.
+
+Because assignments are pure id vectors, a solution computed on the
+measured conference evaluates directly on the true one — which is exactly
+how the A8 ablation quantifies the cost of measurement error end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dataclass_replace
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.agent import Agent, LinearTranscodingLatency
+from repro.model.conference import Conference
+from repro.model.topology import Topology
+
+
+@dataclass(frozen=True)
+class MeasurementErrorModel:
+    """How far the measured view may drift from the truth.
+
+    Attributes
+    ----------
+    delay_sigma_ms:
+        Std-dev of additive Gaussian error on every D / H entry
+        (independent per entry, symmetrized for D, clipped at >= 0.1 ms).
+    delay_bias_ms:
+        Systematic offset added to every measured delay (e.g. a probe
+        stack overhead); may be negative.
+    sigma_speed_error:
+        Relative log-normal error on each agent's transcoding speed
+        estimate (0 = exact).
+    """
+
+    delay_sigma_ms: float = 2.0
+    delay_bias_ms: float = 0.0
+    sigma_speed_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay_sigma_ms < 0:
+            raise ModelError("delay_sigma_ms must be >= 0")
+        if self.sigma_speed_error < 0:
+            raise ModelError("sigma_speed_error must be >= 0")
+
+
+class _ScaledLatency:
+    """A latency model divided by a constant mis-estimation factor."""
+
+    def __init__(self, inner, factor: float):
+        self._inner = inner
+        self._factor = factor
+
+    def __call__(self, source, target) -> float:
+        return self._inner(source, target) / self._factor
+
+
+def measured_conference(
+    conference: Conference,
+    model: MeasurementErrorModel,
+    rng: np.random.Generator,
+) -> Conference:
+    """The provider's noisy view of ``conference``.
+
+    Same ids and structure; D, H and (optionally) transcoding latencies
+    perturbed per ``model``.  Deterministic for a given generator state.
+    """
+    d = conference.topology.inter_agent_ms.copy()
+    h = conference.topology.agent_user_ms.copy()
+    if model.delay_sigma_ms > 0 or model.delay_bias_ms != 0:
+        noise_d = rng.normal(0.0, model.delay_sigma_ms, size=d.shape)
+        noise_d = (noise_d + noise_d.T) / 2.0
+        d = d + noise_d + model.delay_bias_ms
+        np.fill_diagonal(d, 0.0)
+        off = ~np.eye(d.shape[0], dtype=bool)
+        d[off] = np.clip(d[off], 0.1, None)
+        h = np.clip(
+            h + rng.normal(0.0, model.delay_sigma_ms, size=h.shape)
+            + model.delay_bias_ms,
+            0.1,
+            None,
+        )
+
+    agents: list[Agent] = list(conference.agents)
+    if model.sigma_speed_error > 0:
+        measured_agents = []
+        for agent in agents:
+            factor = float(rng.lognormal(0.0, model.sigma_speed_error))
+            if isinstance(agent.latency, LinearTranscodingLatency):
+                latency = dataclass_replace(
+                    agent.latency, speed=agent.latency.speed * factor
+                )
+            else:  # wrap opaque models with a scalar correction
+                latency = _ScaledLatency(agent.latency, factor)
+            measured_agents.append(
+                Agent(
+                    aid=agent.aid,
+                    upload_mbps=agent.upload_mbps,
+                    download_mbps=agent.download_mbps,
+                    transcode_slots=agent.transcode_slots,
+                    latency=latency,
+                    name=agent.name,
+                    region=agent.region,
+                    egress_price_per_gb=agent.egress_price_per_gb,
+                )
+            )
+        agents = measured_agents
+
+    return Conference(
+        users=conference.users,
+        sessions=conference.sessions,
+        agents=agents,
+        topology=Topology(d, h),
+        representations=conference.representations,
+        dmax_ms=conference.dmax_ms,
+    )

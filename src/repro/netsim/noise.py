@@ -1,0 +1,121 @@
+"""Measurement-noise models (paper Sec. IV-A.4, Theorem 1).
+
+Alg. 1 evaluates the objective from *measured* delays and transcoding
+latencies, so its hop decisions see a perturbed objective.  Theorem 1 bounds
+the resulting optimality gap under a quantized error model: the perturbed
+objective of configuration ``f`` takes values ``Phi_f + (j/n_f) * Delta_f``
+for ``j in [-n_f, n_f]`` with probabilities ``eta_{j,f}``.
+
+This module provides that model (for the theory experiments) plus simple
+continuous noise for the runtime simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@runtime_checkable
+class NoiseModel(Protocol):
+    """Perturbs an objective value; must be mean-preserving-ish and bounded
+    for the Theorem 1 analysis to apply."""
+
+    def perturb(self, value: float, rng: np.random.Generator) -> float:
+        """Return the perturbed observation of ``value``."""
+        ...
+
+
+@dataclass(frozen=True)
+class NoNoise:
+    """Identity noise (exact measurements)."""
+
+    def perturb(self, value: float, rng: np.random.Generator) -> float:
+        return value
+
+
+@dataclass(frozen=True)
+class GaussianNoise:
+    """Zero-mean Gaussian observation noise, truncated to ±``bound``.
+
+    A pragmatic stand-in for ping jitter.  ``bound`` makes it compatible
+    with the Delta_max term of Eq. (13).
+    """
+
+    sigma: float
+    bound: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ModelError("sigma must be >= 0")
+        bound = self.bound if self.bound > 0 else 3.0 * self.sigma
+        object.__setattr__(self, "bound", bound)
+
+    def perturb(self, value: float, rng: np.random.Generator) -> float:
+        draw = float(rng.normal(0.0, self.sigma)) if self.sigma > 0 else 0.0
+        return value + float(np.clip(draw, -self.bound, self.bound))
+
+
+@dataclass(frozen=True)
+class QuantizedPerturbation:
+    """Theorem 1's exact error model.
+
+    The observation of ``Phi_f`` is ``Phi_f + (j / n) * delta`` where ``j``
+    is drawn from ``{-n, ..., n}`` with probabilities ``eta`` (uniform by
+    default).  ``delta`` is the per-configuration error bound ``Delta_f``.
+
+    Attributes
+    ----------
+    delta:
+        The error bound Delta_f.
+    levels:
+        The constant ``n_f`` (number of quantization levels per side).
+    eta:
+        Optional probability vector of length ``2 * levels + 1`` over
+        ``j = -n..n``; uniform when omitted.
+    """
+
+    delta: float
+    levels: int = 4
+    eta: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise ModelError("delta must be >= 0")
+        if self.levels < 1:
+            raise ModelError("levels must be >= 1")
+        size = 2 * self.levels + 1
+        if self.eta:
+            if len(self.eta) != size:
+                raise ModelError(f"eta must have {size} entries, got {len(self.eta)}")
+            total = float(sum(self.eta))
+            if not np.isclose(total, 1.0):
+                raise ModelError(f"eta must sum to 1, sums to {total}")
+            if any(p < 0 for p in self.eta):
+                raise ModelError("eta entries must be non-negative")
+        else:
+            object.__setattr__(self, "eta", tuple([1.0 / size] * size))
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """The support ``(j / n) * delta`` for ``j = -n..n``."""
+        j = np.arange(-self.levels, self.levels + 1, dtype=float)
+        return j / self.levels * self.delta
+
+    def perturb(self, value: float, rng: np.random.Generator) -> float:
+        offsets = self.offsets
+        idx = int(rng.choice(len(offsets), p=np.asarray(self.eta)))
+        return value + float(offsets[idx])
+
+    def delta_factor(self, beta: float) -> float:
+        """Theorem 1's ``delta_f = sum_j eta_j * exp(beta * j * Delta / n)``.
+
+        Computed in the log domain for numerical safety at large beta.
+        """
+        log_terms = np.log(np.asarray(self.eta)) + beta * self.offsets
+        peak = float(np.max(log_terms))
+        return float(np.exp(peak) * np.sum(np.exp(log_terms - peak)))

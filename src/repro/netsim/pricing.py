@@ -1,0 +1,79 @@
+"""Bandwidth and transcoding pricing.
+
+The paper reports inter-agent traffic in Mbps as the operational-cost proxy.
+This module converts assignments' traffic into dollars using per-region
+egress prices, for users who want G(x) and H(y) in currency; all paper
+reproductions keep the Mbps/task-count units so the tables are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+#: Seconds per hour (for Mbps -> GB/hour conversion).
+_SECONDS_PER_HOUR = 3600.0
+_BITS_PER_GB = 8.0 * 1024.0**3
+
+
+@dataclass(frozen=True)
+class RegionPricing:
+    """Prices at one cloud region.
+
+    Attributes
+    ----------
+    egress_price_per_gb:
+        Dollars per GB of traffic leaving the region.
+    transcode_price_per_task_hour:
+        Dollars per transcoding slot per hour (approximates the share of
+        the VM's hourly price a task occupies).
+    """
+
+    egress_price_per_gb: float = 0.09
+    transcode_price_per_task_hour: float = 0.026
+
+    def __post_init__(self) -> None:
+        if self.egress_price_per_gb < 0 or self.transcode_price_per_task_hour < 0:
+            raise ModelError("prices must be non-negative")
+
+
+def egress_cost_per_hour(mbps: float, price_per_gb: float) -> float:
+    """Dollar cost of sustaining ``mbps`` of egress for one hour."""
+    if mbps < 0:
+        raise ModelError(f"traffic must be >= 0, got {mbps}")
+    gb_per_hour = mbps * 1e6 * _SECONDS_PER_HOUR / _BITS_PER_GB
+    return gb_per_hour * price_per_gb
+
+
+def transcode_cost_per_hour(tasks: float, pricing: RegionPricing) -> float:
+    """Dollar cost of running ``tasks`` concurrent transcodes for one hour."""
+    if tasks < 0:
+        raise ModelError(f"task count must be >= 0, got {tasks}")
+    return tasks * pricing.transcode_price_per_task_hour
+
+
+def dollar_cost_functions(conference) -> tuple[list, list]:
+    """Per-agent ``(g_l, h_l)`` cost vectors denominated in dollars/hour.
+
+    ``g_l`` converts the agent's inter-agent ingress Mbps into $/h using
+    its region's egress price (the sender pays; we attribute it to the
+    receiving agent's flow, matching ``x_ls``); ``h_l`` prices transcoding
+    slots.  Plug the result into :class:`repro.core.objective.
+    ObjectiveEvaluator` to optimize real money instead of raw Mbps::
+
+        g, h = dollar_cost_functions(conference)
+        evaluator = ObjectiveEvaluator(conference, weights,
+                                       bandwidth_costs=g, transcode_costs=h)
+    """
+    from repro.core.costs import LinearCost
+
+    bandwidth = []
+    transcode = []
+    for agent in conference.agents:
+        per_mbps_hour = egress_cost_per_hour(1.0, agent.egress_price_per_gb)
+        bandwidth.append(LinearCost(rate=per_mbps_hour))
+        transcode.append(
+            LinearCost(rate=RegionPricing().transcode_price_per_task_hour)
+        )
+    return bandwidth, transcode

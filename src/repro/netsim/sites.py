@@ -1,0 +1,169 @@
+"""Site catalogs: PlanetLab-like user sites and 2015-era EC2 regions.
+
+The paper's Internet-scale experiments pick 200 users from 256 PlanetLab
+nodes (heavily concentrated at North-American and European universities,
+with a substantial Asian contingent) and lease agents at 7 EC2 regions.
+The prototype uses 6 EC2 instances and user machines at 10 locations
+(5 North America, 4 Asia, 1 Europe).
+
+This module provides a base catalog of real cities (coordinates are
+approximate city centers) plus a deterministic expansion to an arbitrary
+number of sites: extra sites are jittered replicas of catalog cities, drawn
+with continent weights mirroring PlanetLab's distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.netsim.geo import GeoPoint
+
+
+@dataclass(frozen=True)
+class UserSite:
+    """A location users connect from."""
+
+    name: str
+    point: GeoPoint
+    continent: str
+
+
+@dataclass(frozen=True)
+class CloudRegion:
+    """A cloud site where an agent VM can be leased."""
+
+    name: str
+    code: str
+    point: GeoPoint
+    #: Egress bandwidth price in $/GB (2015-era public cloud list prices).
+    egress_price_per_gb: float
+
+
+def _site(name: str, lat: float, lon: float, continent: str) -> UserSite:
+    return UserSite(name=name, point=GeoPoint(lat, lon), continent=continent)
+
+
+#: Base catalog of user sites.  Continent mix approximates PlanetLab:
+#: ~45 % North America, ~30 % Europe, ~20 % Asia, ~5 % elsewhere.
+USER_SITES: tuple[UserSite, ...] = (
+    # North America
+    _site("Berkeley, CA", 37.87, -122.27, "NA"),
+    _site("Los Angeles, CA", 34.05, -118.24, "NA"),
+    _site("Seattle, WA", 47.61, -122.33, "NA"),
+    _site("Salt Lake City, UT", 40.76, -111.89, "NA"),
+    _site("Boulder, CO", 40.01, -105.27, "NA"),
+    _site("Austin, TX", 30.27, -97.74, "NA"),
+    _site("Chicago, IL", 41.88, -87.63, "NA"),
+    _site("Urbana, IL", 40.11, -88.21, "NA"),
+    _site("Ann Arbor, MI", 42.28, -83.74, "NA"),
+    _site("Pittsburgh, PA", 40.44, -79.99, "NA"),
+    _site("Princeton, NJ", 40.34, -74.66, "NA"),
+    _site("Cambridge, MA", 42.37, -71.11, "NA"),
+    _site("New York, NY", 40.71, -74.01, "NA"),
+    _site("Washington, DC", 38.91, -77.04, "NA"),
+    _site("Atlanta, GA", 33.75, -84.39, "NA"),
+    _site("Gainesville, FL", 29.65, -82.32, "NA"),
+    _site("Toronto, ON", 43.65, -79.38, "NA"),
+    _site("Vancouver, BC", 49.28, -123.12, "NA"),
+    # Europe
+    _site("Cambridge, UK", 52.21, 0.12, "EU"),
+    _site("London, UK", 51.51, -0.13, "EU"),
+    _site("Paris, FR", 48.86, 2.35, "EU"),
+    _site("Amsterdam, NL", 52.37, 4.90, "EU"),
+    _site("Berlin, DE", 52.52, 13.40, "EU"),
+    _site("Munich, DE", 48.14, 11.58, "EU"),
+    _site("Zurich, CH", 47.38, 8.54, "EU"),
+    _site("Milan, IT", 45.46, 9.19, "EU"),
+    _site("Madrid, ES", 40.42, -3.70, "EU"),
+    _site("Stockholm, SE", 59.33, 18.06, "EU"),
+    _site("Helsinki, FI", 60.17, 24.94, "EU"),
+    _site("Warsaw, PL", 52.23, 21.01, "EU"),
+    # Asia
+    _site("Tokyo, JP", 35.68, 139.69, "AS"),
+    _site("Osaka, JP", 34.69, 135.50, "AS"),
+    _site("Seoul, KR", 37.57, 126.98, "AS"),
+    _site("Beijing, CN", 39.90, 116.41, "AS"),
+    _site("Shanghai, CN", 31.23, 121.47, "AS"),
+    _site("Shenzhen, CN", 22.54, 114.06, "AS"),
+    _site("Hong Kong, HK", 22.32, 114.17, "AS"),
+    _site("Taipei, TW", 25.03, 121.57, "AS"),
+    _site("Singapore, SG", 1.35, 103.82, "AS"),
+    _site("Bangalore, IN", 12.97, 77.59, "AS"),
+    # Elsewhere
+    _site("Sao Paulo, BR", -23.55, -46.63, "SA"),
+    _site("Rio de Janeiro, BR", -22.91, -43.17, "SA"),
+    _site("Sydney, AU", -33.87, 151.21, "OC"),
+    _site("Auckland, NZ", -36.85, 174.76, "OC"),
+    _site("Tehran, IR", 35.69, 51.39, "AS"),
+)
+
+#: Continent weights used when expanding the catalog (PlanetLab-like mix).
+CONTINENT_WEIGHTS: dict[str, float] = {"NA": 0.45, "EU": 0.28, "AS": 0.20, "SA": 0.04, "OC": 0.03}
+
+#: 2015-era EC2 regions (the paper's prototype uses 6, the large-scale
+#: experiments 7).  Prices are 2015 list egress prices, $/GB.
+CLOUD_REGIONS: tuple[CloudRegion, ...] = (
+    CloudRegion("Virginia", "us-east-1", GeoPoint(38.95, -77.45), 0.090),
+    CloudRegion("Oregon", "us-west-2", GeoPoint(45.92, -119.30), 0.090),
+    CloudRegion("N. California", "us-west-1", GeoPoint(37.35, -121.96), 0.090),
+    CloudRegion("Ireland", "eu-west-1", GeoPoint(53.35, -6.26), 0.090),
+    CloudRegion("Frankfurt", "eu-central-1", GeoPoint(50.11, 8.68), 0.090),
+    CloudRegion("Tokyo", "ap-northeast-1", GeoPoint(35.68, 139.69), 0.140),
+    CloudRegion("Singapore", "ap-southeast-1", GeoPoint(1.35, 103.82), 0.120),
+    CloudRegion("Sydney", "ap-southeast-2", GeoPoint(-33.87, 151.21), 0.140),
+    CloudRegion("Sao Paulo", "sa-east-1", GeoPoint(-23.55, -46.63), 0.250),
+)
+
+_REGION_BY_NAME = {r.name: r for r in CLOUD_REGIONS}
+_REGION_BY_CODE = {r.code: r for r in CLOUD_REGIONS}
+
+
+def region(name_or_code: str) -> CloudRegion:
+    """Look up a cloud region by display name or region code."""
+    found = _REGION_BY_NAME.get(name_or_code) or _REGION_BY_CODE.get(name_or_code)
+    if found is None:
+        raise ModelError(
+            f"unknown cloud region {name_or_code!r}; known: "
+            f"{sorted(_REGION_BY_NAME)}"
+        )
+    return found
+
+
+def sample_user_sites(count: int, rng: np.random.Generator) -> list[UserSite]:
+    """Deterministically expand the catalog to ``count`` user sites.
+
+    Sites beyond the catalog are jittered replicas (up to ~120 km away) of
+    catalog cities drawn with :data:`CONTINENT_WEIGHTS`, emulating multiple
+    PlanetLab nodes hosted around the same metro area.
+    """
+    if count <= 0:
+        raise ModelError(f"count must be positive, got {count}")
+    sites: list[UserSite] = list(USER_SITES[: min(count, len(USER_SITES))])
+    if count <= len(USER_SITES):
+        return sites[:count]
+
+    by_continent: dict[str, list[UserSite]] = {}
+    for site in USER_SITES:
+        by_continent.setdefault(site.continent, []).append(site)
+    continents = sorted(CONTINENT_WEIGHTS)
+    weights = np.array([CONTINENT_WEIGHTS[c] for c in continents])
+    weights = weights / weights.sum()
+
+    while len(sites) < count:
+        continent = continents[int(rng.choice(len(continents), p=weights))]
+        base = by_continent[continent][int(rng.integers(len(by_continent[continent])))]
+        dlat = float(rng.uniform(-1.0, 1.0))
+        dlon = float(rng.uniform(-1.0, 1.0))
+        lat = float(np.clip(base.point.latitude + dlat, -89.0, 89.0))
+        lon = float(((base.point.longitude + dlon + 180.0) % 360.0) - 180.0)
+        sites.append(
+            UserSite(
+                name=f"{base.name} #{len(sites)}",
+                point=GeoPoint(lat, lon),
+                continent=continent,
+            )
+        )
+    return sites

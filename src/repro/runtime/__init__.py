@@ -1,0 +1,45 @@
+"""Discrete-event runtime: the prototype-system substitute.
+
+The paper's Sec. V-A experiments run a C++/OpenCV prototype on EC2: each
+session's initiator agent executes Alg. 1's WAIT/HOP loop (exponential
+countdown, mean 10 s), hops are serialized across sessions with
+FREEZE/UNFREEZE messages, migrations dual-feed briefly to avoid frozen
+frames, and the operator observes inter-agent traffic and conferencing
+delay over wall-clock time.
+
+This package reproduces that control plane as a deterministic
+discrete-event simulation:
+
+* :mod:`repro.runtime.events` — the event queue (lazy cancellation, so
+  FREEZE can shift pending countdowns);
+* :mod:`repro.runtime.metrics` — time-series recording;
+* :mod:`repro.runtime.migration` — the dual-feed overhead model
+  (~13.2 kb per 240p migration at a 30 ms overlap, per the paper);
+* :mod:`repro.runtime.dynamics` — session arrival/departure schedules
+  (Fig. 5);
+* :mod:`repro.runtime.simulation` — the simulator binding a
+  :class:`~repro.core.markov.MarkovAssignmentSolver` to wall-clock time.
+"""
+
+from repro.runtime.dynamics import DynamicsSchedule, SessionArrival, SessionDeparture
+from repro.runtime.events import EventQueue
+from repro.runtime.metrics import TimeSeriesRecorder
+from repro.runtime.migration import MigrationModel, MigrationRecord
+from repro.runtime.simulation import (
+    ConferencingSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+
+__all__ = [
+    "ConferencingSimulator",
+    "DynamicsSchedule",
+    "EventQueue",
+    "MigrationModel",
+    "MigrationRecord",
+    "SessionArrival",
+    "SessionDeparture",
+    "SimulationConfig",
+    "SimulationResult",
+    "TimeSeriesRecorder",
+]

@@ -1,0 +1,80 @@
+"""Session arrival/departure schedules (paper Fig. 5).
+
+A :class:`DynamicsSchedule` lists which sessions are active at t=0 and the
+timed arrival/departure events.  The Fig. 5 scenario — 6 sessions at t=0,
+4 arriving at t=40 s, 3 departing at t=80 s — has a ready-made factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SessionArrival:
+    """Session ``sid`` starts at ``time_s`` and must be bootstrapped."""
+
+    time_s: float
+    sid: int
+
+
+@dataclass(frozen=True)
+class SessionDeparture:
+    """Session ``sid`` terminates at ``time_s``; its resources free up."""
+
+    time_s: float
+    sid: int
+
+
+@dataclass(frozen=True)
+class DynamicsSchedule:
+    """Initial active set plus timed arrivals/departures."""
+
+    initial_sids: tuple[int, ...]
+    events: tuple[SessionArrival | SessionDeparture, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=lambda e: e.time_s))
+        )
+        active = set(self.initial_sids)
+        if len(active) != len(self.initial_sids):
+            raise SimulationError("duplicate initial sessions")
+        for event in self.events:
+            if event.time_s < 0:
+                raise SimulationError(f"negative event time {event.time_s}")
+            if isinstance(event, SessionArrival):
+                if event.sid in active:
+                    raise SimulationError(f"session {event.sid} arrives twice")
+                active.add(event.sid)
+            else:
+                if event.sid not in active:
+                    raise SimulationError(
+                        f"session {event.sid} departs while inactive"
+                    )
+                active.remove(event.sid)
+
+    @classmethod
+    def static(cls, sids: Sequence[int]) -> "DynamicsSchedule":
+        """All sessions active for the whole run (Figs. 4, 6, 7)."""
+        return cls(initial_sids=tuple(sids))
+
+    @classmethod
+    def fig5(
+        cls,
+        initial_sids: Sequence[int],
+        arriving_sids: Sequence[int],
+        departing_sids: Sequence[int],
+        arrival_time_s: float = 40.0,
+        departure_time_s: float = 80.0,
+    ) -> "DynamicsSchedule":
+        """The paper's dynamic scenario: arrivals at t=40 s, departures at
+        t=80 s (departing sessions must be active by then)."""
+        events: list[SessionArrival | SessionDeparture] = [
+            SessionArrival(arrival_time_s, sid) for sid in arriving_sids
+        ]
+        events.extend(SessionDeparture(departure_time_s, sid) for sid in departing_sids)
+        return cls(initial_sids=tuple(initial_sids), events=tuple(events))

@@ -1,0 +1,56 @@
+"""Time-series recording for the runtime experiments."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class TimeSeriesRecorder:
+    """Accumulates named ``(time, value)`` streams and exports arrays."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+
+    def record(self, name: str, time_s: float, value: float) -> None:
+        """Append one observation to series ``name``."""
+        points = self._series[name]
+        if points and time_s < points[-1][0] - 1e-12:
+            raise SimulationError(
+                f"series {name!r}: non-monotonic time {time_s} after {points[-1][0]}"
+            )
+        points.append((time_s, float(value)))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._series))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._series
+
+    def series(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` arrays of one series."""
+        points = self._series.get(name)
+        if not points:
+            raise SimulationError(f"no series named {name!r}; have {self.names}")
+        data = np.asarray(points, dtype=float)
+        return data[:, 0], data[:, 1]
+
+    def last(self, name: str) -> float:
+        """The latest value of a series."""
+        _times, values = self.series(name)
+        return float(values[-1])
+
+    def mean_after(self, name: str, t_start: float) -> float:
+        """Mean of a series restricted to ``time >= t_start`` (steady-state
+        averages for EXPERIMENTS.md)."""
+        times, values = self.series(name)
+        mask = times >= t_start
+        if not mask.any():
+            raise SimulationError(
+                f"series {name!r} has no samples at or after t={t_start}"
+            )
+        return float(values[mask].mean())

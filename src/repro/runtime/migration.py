@@ -1,0 +1,91 @@
+"""Migration overhead model (paper Sec. V-A.1).
+
+When Alg. 1 migrates a user to a new agent, tearing the old path down
+instantly would freeze 2-3 frames at 30 fps for the other participants.
+The prototype avoids that by *dual-feeding*: the migrated client streams to
+both the old and the new agent for a short overlap (under 30 ms on
+average), at the price of redundant upstream traffic — about 13.2 kb for a
+240p stream, "negligible compared to the traffic reduction after
+migration".  Transcoding-task migrations use segment boundaries
+(segmentation-based transcoding) and carry no user-visible interruption.
+
+This module prices each migration so the runtime can report cumulative
+overhead next to the savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import Assignment
+from repro.core.neighborhood import Move
+from repro.errors import ModelError
+from repro.model.conference import Conference
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One executed migration with its overhead accounting."""
+
+    time_s: float
+    sid: int
+    description: str
+    kind: str
+    overhead_kb: float
+    interrupted: bool
+
+
+class MigrationModel:
+    """Prices migrations under the dual-feed scheme.
+
+    Parameters
+    ----------
+    overlap_ms:
+        Dual-feed duration; the paper reports < 30 ms on average.
+    dual_feed:
+        When False, migrations tear down the old path immediately —
+        no overhead, but the migration is marked as interrupting (the
+        frozen-frames case the paper describes and avoids).
+    """
+
+    def __init__(self, overlap_ms: float = 30.0, dual_feed: bool = True):
+        if overlap_ms < 0:
+            raise ModelError(f"overlap must be >= 0 ms, got {overlap_ms}")
+        self._overlap_ms = overlap_ms
+        self._dual_feed = dual_feed
+
+    @property
+    def overlap_ms(self) -> float:
+        return self._overlap_ms
+
+    def price(
+        self,
+        conference: Conference,
+        assignment: Assignment,
+        move: Move,
+        sid: int,
+        time_s: float,
+    ) -> MigrationRecord:
+        """The overhead record for applying ``move`` at ``time_s``.
+
+        User moves dual-feed the user's upstream; task moves overlap the
+        transcoded output for one segment boundary.
+        """
+        if move.kind == "user":
+            bitrate = conference.user(move.index).upstream.bitrate_mbps
+        else:
+            source, destination = conference.transcode_pairs[move.index]
+            bitrate = conference.demanded_representation(
+                source, destination
+            ).bitrate_mbps
+        overhead_kb = (
+            bitrate * 1000.0 * (self._overlap_ms / 1000.0) if self._dual_feed else 0.0
+        )
+        return MigrationRecord(
+            time_s=time_s,
+            sid=sid,
+            description=move.describe(conference),
+            kind=move.kind,
+            overhead_kb=overhead_kb,
+            interrupted=not self._dual_feed and move.kind == "user",
+        )

@@ -1,0 +1,300 @@
+"""The conferencing control-plane simulator (paper Sec. V-A).
+
+Binds Alg. 1's jump chain to wall-clock time:
+
+* each active session runs WAIT — an exponential countdown with the
+  configured mean (the prototype uses 10 s) — then HOP;
+* HOP is serialized across sessions: while one session migrates, the
+  others' countdowns are paused for the freeze duration (the
+  FREEZE/UNFREEZE handshake), implemented by shifting their pending wake
+  events;
+* migrations are priced by the dual-feed model and logged;
+* metric samples (total inter-agent traffic, average conferencing delay,
+  objective, per-session series) are taken on a fixed grid — these are the
+  series plotted in Figs. 4-7;
+* session arrivals bootstrap a new session against residual capacities and
+  join the hop loop; departures release capacity (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.core.agrank import AgRankConfig, agrank_assignment
+from repro.core.assignment import Assignment
+from repro.core.bootstrap import bootstrap_assignment
+from repro.core.delay import average_conferencing_delay, session_user_delays
+from repro.core.markov import MarkovAssignmentSolver, MarkovConfig
+from repro.core.nearest import nearest_assignment
+from repro.core.objective import ObjectiveEvaluator
+from repro.errors import SimulationError
+from repro.model.conference import Conference
+from repro.netsim.noise import NoiseModel
+from repro.runtime.dynamics import DynamicsSchedule, SessionArrival
+from repro.runtime.events import EventHandle, EventQueue
+from repro.runtime.metrics import TimeSeriesRecorder
+from repro.runtime.migration import MigrationModel, MigrationRecord
+
+Policy = Literal["nearest", "agrank"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Wall-clock parameters of a runtime experiment."""
+
+    duration_s: float = 200.0
+    sample_interval_s: float = 1.0
+    #: Mean of the WAIT countdown (1 / tau); the prototype uses 10 s.
+    hop_interval_mean_s: float = 10.0
+    #: How long other sessions stay frozen during one migration.
+    freeze_duration_s: float = 0.05
+    markov: MarkovConfig = field(default_factory=MarkovConfig)
+    initial_policy: Policy = "nearest"
+    agrank: AgRankConfig | None = None
+    seed: int = 0
+    #: Session ids whose individual traffic/delay series are recorded.
+    track_sessions: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise SimulationError("duration must be positive")
+        if self.sample_interval_s <= 0:
+            raise SimulationError("sample interval must be positive")
+        if self.hop_interval_mean_s <= 0:
+            raise SimulationError("hop interval mean must be positive")
+        if self.freeze_duration_s < 0:
+            raise SimulationError("freeze duration must be >= 0")
+
+
+@dataclass
+class SimulationResult:
+    """Everything a runtime experiment produced."""
+
+    recorder: TimeSeriesRecorder
+    migrations: list[MigrationRecord]
+    hops: int
+    freezes: int
+    final_assignment: Assignment
+    config: SimulationConfig
+
+    def series(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` of a recorded series (e.g. ``"traffic"``)."""
+        return self.recorder.series(name)
+
+    @property
+    def total_overhead_kb(self) -> float:
+        """Cumulative dual-feed migration overhead."""
+        return sum(record.overhead_kb for record in self.migrations)
+
+    def initial_value(self, name: str) -> float:
+        _times, values = self.series(name)
+        return float(values[0])
+
+    def final_value(self, name: str) -> float:
+        return self.recorder.last(name)
+
+    def steady_state_mean(self, name: str, tail_fraction: float = 0.25) -> float:
+        """Mean of the series over its trailing ``tail_fraction`` window."""
+        times, _values = self.series(name)
+        t_start = float(times[-1]) - tail_fraction * (float(times[-1]) - float(times[0]))
+        return self.recorder.mean_after(name, t_start)
+
+
+class ConferencingSimulator:
+    """Event-driven execution of Alg. 1 over a conference."""
+
+    def __init__(
+        self,
+        evaluator: ObjectiveEvaluator,
+        schedule: DynamicsSchedule,
+        config: SimulationConfig | None = None,
+        noise: NoiseModel | None = None,
+        migration_model: MigrationModel | None = None,
+        initial_assignment: Assignment | None = None,
+    ):
+        self._evaluator = evaluator
+        self._conference: Conference = evaluator.conference
+        self._schedule = schedule
+        self._config = config if config is not None else SimulationConfig()
+        self._noise = noise
+        self._migration_model = (
+            migration_model if migration_model is not None else MigrationModel()
+        )
+        self._initial_assignment = initial_assignment
+        self._rng = np.random.default_rng(self._config.seed)
+
+        self._queue = EventQueue()
+        self._recorder = TimeSeriesRecorder()
+        self._migrations: list[MigrationRecord] = []
+        self._wake_handles: dict[int, tuple[EventHandle, float]] = {}
+        self._freezes = 0
+        self._solver: MarkovAssignmentSolver | None = None
+
+    # ------------------------------------------------------------------ #
+    # Bootstrap                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _bootstrap_initial(self) -> Assignment:
+        if self._initial_assignment is not None:
+            return self._initial_assignment
+        sids = list(self._schedule.initial_sids)
+        # Admission checks capacities only: the runtime's hop filter
+        # enforces the delay cap from the first migration onwards.
+        return bootstrap_assignment(
+            self._conference,
+            policy=self._config.initial_policy,
+            config=self._config.agrank,
+            sids=sids,
+            check_delay=False,
+        )
+
+    def _bootstrap_arrival(self, sid: int) -> Assignment:
+        assert self._solver is not None
+        base = self._solver.assignment
+        if self._config.initial_policy == "nearest":
+            return nearest_assignment(self._conference, [sid], base=base)
+        return agrank_assignment(
+            self._conference,
+            sid,
+            ledger=self._solver.context.ledger,
+            config=self._config.agrank,
+            base=base,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Event handlers                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _draw_wait(self) -> float:
+        return float(self._rng.exponential(self._config.hop_interval_mean_s))
+
+    def _schedule_wake(self, sid: int, now: float) -> None:
+        wake_at = now + self._draw_wait()
+        handle = self._queue.schedule(wake_at, "wake", sid)
+        self._wake_handles[sid] = (handle, wake_at)
+
+    def _freeze_others(self, hopping_sid: int, now: float) -> None:
+        """FREEZE: pause every other session's countdown for the handshake
+        duration by pushing their wake events back."""
+        duration = self._config.freeze_duration_s
+        if duration <= 0:
+            return
+        self._freezes += 1
+        for sid, (handle, wake_at) in list(self._wake_handles.items()):
+            if sid == hopping_sid:
+                continue
+            shifted = max(wake_at, now) + duration
+            new_handle = self._queue.reschedule(handle, shifted)
+            self._wake_handles[sid] = (new_handle, shifted)
+
+    def _on_wake(self, sid: int, now: float) -> None:
+        assert self._solver is not None
+        if sid not in self._wake_handles:
+            return  # departed in the meantime
+        before = self._solver.assignment
+        result = self._solver.session_hop(sid)
+        if result.moved and result.move is not None:
+            self._freeze_others(sid, now)
+            self._migrations.append(
+                self._migration_model.price(self._conference, before, result.move, sid, now)
+            )
+        self._schedule_wake(sid, now)
+
+    def _on_sample(self, now: float) -> None:
+        assert self._solver is not None
+        active = self._solver.context.active_sessions
+        if active:
+            traffic = sum(
+                self._solver.context.session_cost(sid).inter_agent_mbps
+                for sid in active
+            )
+            delay = average_conferencing_delay(
+                self._conference, self._solver.assignment, active
+            )
+            self._recorder.record("traffic", now, traffic)
+            self._recorder.record("delay", now, delay)
+            self._recorder.record("phi", now, self._solver.total_phi())
+            self._recorder.record("sessions", now, float(len(active)))
+            for sid in self._config.track_sessions:
+                if sid in active:
+                    cost = self._solver.context.session_cost(sid)
+                    per_user = session_user_delays(
+                        self._conference, self._solver.assignment, sid
+                    )
+                    self._recorder.record(f"s{sid}/traffic", now, cost.inter_agent_mbps)
+                    self._recorder.record(
+                        f"s{sid}/delay", now, float(np.mean(list(per_user.values())))
+                    )
+        next_sample = now + self._config.sample_interval_s
+        if next_sample <= self._config.duration_s + 1e-9:
+            self._queue.schedule(next_sample, "sample")
+
+    def _on_arrival(self, sid: int, now: float) -> None:
+        assert self._solver is not None
+        assignment = self._bootstrap_arrival(sid)
+        self._solver.context.add_session(sid, assignment)
+        self._schedule_wake(sid, now)
+
+    def _on_departure(self, sid: int, now: float) -> None:
+        assert self._solver is not None
+        del now
+        handle_entry = self._wake_handles.pop(sid, None)
+        if handle_entry is not None:
+            handle_entry[0].cancel()
+        self._solver.context.remove_session(sid)
+
+    # ------------------------------------------------------------------ #
+    # Main loop                                                          #
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return all recorded artifacts."""
+        initial = self._bootstrap_initial()
+        self._solver = MarkovAssignmentSolver(
+            self._evaluator,
+            initial,
+            config=self._config.markov,
+            active_sids=list(self._schedule.initial_sids),
+            noise=self._noise,
+            rng=self._rng,
+        )
+        for sid in self._schedule.initial_sids:
+            self._schedule_wake(sid, 0.0)
+        for event in self._schedule.events:
+            if event.time_s > self._config.duration_s:
+                continue
+            if isinstance(event, SessionArrival):
+                self._queue.schedule(event.time_s, "arrival", event.sid)
+            else:
+                self._queue.schedule(event.time_s, "departure", event.sid)
+        self._queue.schedule(0.0, "sample")
+
+        while True:
+            popped = self._queue.pop()
+            if popped is None:
+                break
+            now, handle = popped
+            if now > self._config.duration_s + 1e-9:
+                break
+            if handle.kind == "wake":
+                self._on_wake(handle.payload, now)
+            elif handle.kind == "sample":
+                self._on_sample(now)
+            elif handle.kind == "arrival":
+                self._on_arrival(handle.payload, now)
+            elif handle.kind == "departure":
+                self._on_departure(handle.payload, now)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {handle.kind!r}")
+
+        return SimulationResult(
+            recorder=self._recorder,
+            migrations=self._migrations,
+            hops=self._solver.hops,
+            freezes=self._freezes,
+            final_assignment=self._solver.assignment,
+            config=self._config,
+        )

@@ -1,0 +1,26 @@
+"""Shared type aliases and small value types.
+
+The library indexes users, agents and sessions with dense integer ids
+(``0..N-1``) so that every derived quantity (delay matrices, traffic
+matrices, assignment vectors) can live in a numpy array.  Human-readable
+names are carried alongside on the model objects themselves.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+UserId: TypeAlias = int
+AgentId: TypeAlias = int
+SessionId: TypeAlias = int
+
+#: Sentinel agent id for "not assigned" (used for inactive sessions in
+#: dynamic scenarios; never valid inside an active assignment).
+UNASSIGNED: int = -1
+
+#: Default maximum acceptable end-to-end conferencing delay in milliseconds,
+#: per ITU-T Recommendation G.114 (the paper's Dmax).
+DEFAULT_DMAX_MS: float = 400.0
+
+#: A (source-user, destination-user) pair that requires transcoding.
+TranscodePair: TypeAlias = tuple[int, int]

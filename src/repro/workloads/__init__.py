@@ -1,0 +1,30 @@
+"""Workload generators for the paper's experimental setups.
+
+* :mod:`repro.workloads.demand` — the representation demand model of
+  Sec. V-B (4 representations; 80 % of users demand 720p);
+* :mod:`repro.workloads.prototype` — the Sec. V-A prototype: 6 EC2
+  agents, users at 10 world-wide locations, 10 sessions of 3-5
+  participants (Figs. 4-7);
+* :mod:`repro.workloads.scenarios` — the Internet-scale setup: 256
+  user sites, 7 EC2 agents, 200 users per random scenario in sessions of
+  at most 5 (Table II, Figs. 8-10);
+* :mod:`repro.workloads.motivating` — the Fig. 2 example (4 users, 4
+  agents, measured latencies from the figure);
+* :mod:`repro.workloads.toy` — the Fig. 3 instance (2 users, 2 agents,
+  1 transcoding task, 8 feasible states).
+"""
+
+from repro.workloads.demand import DemandModel
+from repro.workloads.motivating import motivating_conference
+from repro.workloads.prototype import prototype_conference
+from repro.workloads.scenarios import ScenarioParams, scenario_conference
+from repro.workloads.toy import toy_conference
+
+__all__ = [
+    "DemandModel",
+    "ScenarioParams",
+    "motivating_conference",
+    "prototype_conference",
+    "scenario_conference",
+    "toy_conference",
+]

@@ -1,0 +1,79 @@
+"""Representation demand model (paper Sec. V-B.1).
+
+The Internet-scale experiments use 4 representations — 360p, 480p, 720p,
+1080p — "and a sparse transcoding matrix is considered such that 80 % of
+users demand for 720p and only 20 % demand for the others".  Upstreams are
+drawn to reflect heterogeneous devices, which is what creates transcoding
+work in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.representation import Representation, RepresentationSet
+
+
+@dataclass(frozen=True)
+class DemandModel:
+    """Samples upstream and downstream representations for users.
+
+    Attributes
+    ----------
+    representations:
+        The universe to draw from.
+    preferred:
+        Name of the majority downstream demand (``"720p"``).
+    preferred_share:
+        Probability a user demands ``preferred`` (0.8 in the paper); the
+        remaining mass spreads uniformly over the other names.
+    downstream_names / upstream_names:
+        The candidate pools; the paper's pool is the 4-step ladder.
+    """
+
+    representations: RepresentationSet
+    preferred: str = "720p"
+    preferred_share: float = 0.8
+    names: tuple[str, ...] = field(default=("360p", "480p", "720p", "1080p"))
+    #: Paper footnote 1: theta can be restricted to high-to-low quality
+    #: transcoding only.  With this flag a sampled demand above a given
+    #: upstream is clamped down to the upstream (no up-transcoding).
+    downgrade_only: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.preferred_share <= 1.0:
+            raise ModelError("preferred_share must be in [0, 1]")
+        if self.preferred not in self.names:
+            raise ModelError(
+                f"preferred {self.preferred!r} must be among names {self.names}"
+            )
+        for name in self.names:
+            if name not in self.representations:
+                raise ModelError(f"unknown representation {name!r} in demand model")
+
+    def sample_downstream(self, rng: np.random.Generator) -> Representation:
+        """80/20 demand draw (the paper's sparse transcoding matrix)."""
+        if rng.uniform() < self.preferred_share:
+            return self.representations[self.preferred]
+        others = [n for n in self.names if n != self.preferred]
+        return self.representations[others[int(rng.integers(len(others)))]]
+
+    def sample_upstream(self, rng: np.random.Generator) -> Representation:
+        """Uniform draw over the pool — device heterogeneity."""
+        return self.representations[self.names[int(rng.integers(len(self.names)))]]
+
+    def clamp_demand(
+        self, demanded: Representation, upstream: Representation
+    ) -> Representation:
+        """Apply the downgrade-only rule (footnote 1) to one demand.
+
+        Demands at or below the source's upstream pass through; demands
+        above it are served with the raw upstream (no up-transcoding), so
+        the corresponding ``theta`` entry becomes 0.
+        """
+        if not self.downgrade_only or demanded.bitrate_mbps <= upstream.bitrate_mbps:
+            return demanded
+        return upstream

@@ -1,0 +1,67 @@
+"""The Fig. 2 motivating scenario.
+
+4 users in one session — user 1 in California, user 2 in Brazil, user 3 in
+Japan, user 4 in Hong Kong — and 4 agents: Oregon (OR), Tokyo (TO),
+Singapore (SG), Sao Paulo (SP).  Edge latencies follow the figure: user 4
+reaches TO in 27 ms and SG in 20 ms; SG->OR is 117 ms, TO->OR is 67 ms.
+SG is drawn as the more capable agent (faster transcoding), which is the
+paper's point: the nearest agent (SG) is best *neither* for inter-user
+delay *nor* for traffic once the session's whereabouts are considered,
+yet it does win on transcoding latency — the tension UAP resolves.
+
+Users 1-3 produce 720p; user 4 demands 480p from everyone, so three
+transcoding tasks exist and the task-placement dimension is live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.builder import ConferenceBuilder
+from repro.model.conference import Conference
+from repro.model.representation import PAPER_LADDER
+
+#: Agent order: OR, TO, SG, SP.
+AGENT_NAMES: tuple[str, ...] = ("OR", "TO", "SG", "SP")
+
+#: One-way inter-agent delays (ms) consistent with Fig. 2's edge labels:
+#: TO is closer than SG to each of the other agents.
+INTER_AGENT_MS = np.array(
+    [
+        #  OR    TO    SG    SP
+        [0.0, 67.0, 117.0, 81.0],  # OR
+        [67.0, 0.0, 45.0, 150.0],  # TO
+        [117.0, 45.0, 0.0, 181.0],  # SG
+        [81.0, 150.0, 181.0, 0.0],  # SP
+    ]
+)
+
+#: One-way agent-to-user delays (ms).  User 4 [HK]: 27 ms to TO, 20 ms to
+#: SG (the figure's labels); users 1-3 sit near OR / SP / TO respectively.
+AGENT_USER_MS = np.array(
+    [
+        # u1(CA) u2(BR) u3(JP) u4(HK)
+        [12.0, 95.0, 55.0, 75.0],  # OR
+        [55.0, 140.0, 8.0, 27.0],  # TO
+        [95.0, 170.0, 40.0, 20.0],  # SG
+        [93.0, 15.0, 135.0, 190.0],  # SP
+    ]
+)
+
+
+def motivating_conference() -> Conference:
+    """Build the Fig. 2 instance (deterministic, no randomness)."""
+    builder = ConferenceBuilder(PAPER_LADDER)
+    # SG is the computationally powerful agent (large diamond in the
+    # figure); TO is mid-range.
+    speeds = {"OR": 1.0, "TO": 0.9, "SG": 1.6, "SP": 0.8}
+    for name in AGENT_NAMES:
+        builder.add_agent(name=name, speed=speeds[name])
+    u1 = builder.user(upstream="720p", downstream="720p", name="user1", site="CA")
+    u2 = builder.user(upstream="720p", downstream="720p", name="user2", site="BR")
+    u3 = builder.user(upstream="720p", downstream="720p", name="user3", site="JP")
+    u4 = builder.user(upstream="720p", downstream="480p", name="user4", site="HK")
+    builder.add_session(u1, u2, u3, u4, name="fig2")
+    return builder.build(
+        inter_agent_ms=INTER_AGENT_MS, agent_user_ms=AGENT_USER_MS
+    )

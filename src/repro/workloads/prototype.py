@@ -1,0 +1,112 @@
+"""The prototype setup of Sec. V-A (Figs. 4-7).
+
+6 Linux EC2 instances in different regions act as agents; conferencing
+users sit at 10 locations (5 in North America, 4 in Asia, 1 in Europe);
+10 sessions run concurrently with 3-5 participants each.  Agent capacities
+are "large enough" and transcoding latencies fall in [30, 60] ms depending
+on instance capability.  Latencies come from the synthetic geo model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.builder import ConferenceBuilder
+from repro.model.conference import Conference
+from repro.model.representation import PAPER_LADDER
+from repro.netsim.latency import LatencyModel
+from repro.netsim.sites import USER_SITES, UserSite, region
+from repro.workloads.demand import DemandModel
+
+#: The 6 EC2 regions of the prototype (the paper names Tokyo, Singapore
+#: and Ireland explicitly in the Fig. 7 case study).
+PROTOTYPE_REGIONS: tuple[str, ...] = (
+    "Virginia",
+    "Oregon",
+    "Sao Paulo",
+    "Ireland",
+    "Singapore",
+    "Tokyo",
+)
+
+#: User locations: 5 North America, 4 Asia, 1 Europe (Sec. V-A.1).
+PROTOTYPE_USER_LOCATIONS: tuple[str, ...] = (
+    "Berkeley, CA",
+    "Seattle, WA",
+    "Chicago, IL",
+    "New York, NY",
+    "Toronto, ON",
+    "Tokyo, JP",
+    "Hong Kong, HK",
+    "Singapore, SG",
+    "Seoul, KR",
+    "London, UK",
+)
+
+#: Relative processing capabilities; spread so the reference transcode
+#: latency spans roughly the paper's [30, 60] ms envelope.
+PROTOTYPE_AGENT_SPEEDS: tuple[float, ...] = (1.30, 1.20, 0.75, 1.00, 0.85, 1.10)
+
+
+def prototype_conference(
+    seed: int = 0,
+    num_sessions: int = 10,
+    session_sizes: tuple[int, int] = (3, 5),
+    demand: DemandModel | None = None,
+) -> Conference:
+    """Build the prototype conference deterministically from ``seed``.
+
+    Users are placed at the 10 prototype locations round-robin (several
+    users share a metro, like the paper's multiple clients per site), and
+    grouped into ``num_sessions`` sessions with sizes uniform in
+    ``session_sizes``.
+    """
+    if num_sessions < 1:
+        raise ModelError("need at least one session")
+    low, high = session_sizes
+    if low < 2 or high < low:
+        raise ModelError(f"invalid session size range {session_sizes}")
+
+    rng = np.random.default_rng(seed)
+    demand = demand if demand is not None else DemandModel(PAPER_LADDER)
+
+    sizes = [int(rng.integers(low, high + 1)) for _ in range(num_sessions)]
+    num_users = sum(sizes)
+
+    catalog = {site.name: site for site in USER_SITES}
+    user_sites: list[UserSite] = []
+    for i in range(num_users):
+        name = PROTOTYPE_USER_LOCATIONS[i % len(PROTOTYPE_USER_LOCATIONS)]
+        user_sites.append(catalog[name])
+
+    builder = ConferenceBuilder(PAPER_LADDER)
+    regions = [region(name) for name in PROTOTYPE_REGIONS]
+    for reg, speed in zip(regions, PROTOTYPE_AGENT_SPEEDS):
+        builder.add_agent(
+            name=reg.name,
+            region=reg.code,
+            speed=speed,
+            egress_price_per_gb=reg.egress_price_per_gb,
+        )
+
+    uid = 0
+    for sid, size in enumerate(sizes):
+        member_ids = []
+        for _ in range(size):
+            site = user_sites[uid]
+            member_ids.append(
+                builder.user(
+                    upstream=demand.sample_upstream(rng),
+                    downstream=demand.sample_downstream(rng),
+                    name=f"u{uid}@{site.name.split(',')[0]}",
+                    site=site.name,
+                )
+            )
+            uid += 1
+        builder.add_session(*member_ids, name=f"session-{sid}")
+
+    latency = LatencyModel(seed=seed)
+    inter_agent = latency.inter_agent_matrix(regions)
+    agent_user = latency.agent_user_matrix(regions, user_sites)
+    return builder.build(inter_agent_ms=inter_agent, agent_user_ms=agent_user)

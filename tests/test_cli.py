@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+
+
+class TestRun:
+    def test_run_fig2(self, capsys):
+        assert main(["run", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "SG" in out
+
+    def test_run_fig3(self, capsys):
+        assert main(["run", "fig3"]) == 0
+        assert "theory" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_scenarios_flag_sets_env(self, capsys, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_SCENARIOS", raising=False)
+        assert main(["run", "fig2", "--scenarios", "2"]) == 0
+        assert os.environ.get("REPRO_SCENARIOS") == "2"
+
+    def test_csv_export(self, tmp_path, capsys):
+        target = tmp_path / "fig4.csv"
+        assert (
+            main(["run", "fig4", "--seed", "3", "--csv", str(target)]) == 0
+        )
+        content = target.read_text()
+        assert content.startswith("label,series,time_s,value")
+        assert "traffic" in content
+
+    def test_csv_without_series_reports(self, tmp_path, capsys):
+        target = tmp_path / "fig2.csv"
+        assert main(["run", "fig2", "--csv", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "no series data" in out

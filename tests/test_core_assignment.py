@@ -1,0 +1,102 @@
+"""Tests for repro.core.assignment."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.errors import ModelError
+from repro.types import UNASSIGNED
+from tests.conftest import build_pair_conference
+
+
+@pytest.fixture()
+def conf():
+    return build_pair_conference("720p", "360p", "360p", "480p")  # 1 task
+
+
+class TestConstruction:
+    def test_empty_all_unassigned(self, conf):
+        empty = Assignment.empty(conf)
+        assert all(a == UNASSIGNED for a in empty.user_agent)
+        assert all(a == UNASSIGNED for a in empty.task_agent)
+        assert not empty.is_session_assigned(conf, 0)
+
+    def test_uniform(self, conf):
+        uniform = Assignment.uniform(conf, 1)
+        assert all(a == 1 for a in uniform.user_agent)
+        assert uniform.is_session_assigned(conf, 0)
+
+    def test_uniform_rejects_bad_agent(self, conf):
+        with pytest.raises(ModelError):
+            Assignment.uniform(conf, 5)
+
+    def test_rejects_non_1d(self):
+        with pytest.raises(ModelError):
+            Assignment(np.zeros((2, 2)), np.zeros(1))
+
+
+class TestImmutability:
+    def test_arrays_read_only(self, conf):
+        assignment = Assignment.uniform(conf, 0)
+        with pytest.raises(ValueError):
+            assignment.user_agent[0] = 1
+
+    def test_with_user_returns_new(self, conf):
+        a = Assignment.uniform(conf, 0)
+        b = a.with_user(0, 1)
+        assert a.agent_of(0) == 0
+        assert b.agent_of(0) == 1
+        assert b.agent_of(1) == 0
+
+    def test_with_task_returns_new(self, conf):
+        a = Assignment.uniform(conf, 0)
+        b = a.with_task(0, 1)
+        assert a.task_agent_of(0) == 0
+        assert b.task_agent_of(0) == 1
+
+    def test_input_arrays_copied(self, conf):
+        ua = np.zeros(2, dtype=np.int64)
+        ta = np.zeros(1, dtype=np.int64)
+        assignment = Assignment(ua, ta)
+        ua[0] = 1
+        assert assignment.agent_of(0) == 0
+
+
+class TestIdentity:
+    def test_equality_and_hash(self, conf):
+        a = Assignment.uniform(conf, 0)
+        b = Assignment.uniform(conf, 0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != a.with_user(0, 1)
+
+    def test_usable_as_dict_key(self, conf):
+        counts = {Assignment.uniform(conf, 0): 1}
+        counts[Assignment.uniform(conf, 0)] = 2
+        assert len(counts) == 1
+
+    def test_difference_counts_decisions(self, conf):
+        a = Assignment.uniform(conf, 0)
+        assert a.difference(a) == 0
+        assert a.difference(a.with_user(1, 1)) == 1
+        assert a.difference(a.with_user(1, 1).with_task(0, 1)) == 2
+
+    def test_difference_shape_mismatch(self, conf):
+        a = Assignment.uniform(conf, 0)
+        other = Assignment(np.zeros(3, dtype=np.int64), np.zeros(1, dtype=np.int64))
+        with pytest.raises(ModelError):
+            a.difference(other)
+
+
+class TestSessionOps:
+    def test_clear_session(self, conf):
+        a = Assignment.uniform(conf, 1)
+        cleared = a.with_session_cleared(conf, 0)
+        assert all(x == UNASSIGNED for x in cleared.user_agent)
+        assert all(x == UNASSIGNED for x in cleared.task_agent)
+
+    def test_merged_takes_target_sessions_decisions(self, conf):
+        base = Assignment.empty(conf)
+        other = Assignment.uniform(conf, 1)
+        merged = base.merged(other, conf, 0)
+        assert merged == other

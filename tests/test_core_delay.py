@@ -1,0 +1,115 @@
+"""Tests for repro.core.delay — hand-computed end-to-end delays.
+
+Geometry: D(L0,L1)=20; H[L0,u0]=10, H[L1,u0]=25, H[L0,u1]=30, H[L1,u1]=8.
+Reference transcoding latency (speed 1.0) for 720p->480p:
+24 + 1.6*5 + 2.4*2.5 = 38 ms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.delay import (
+    average_conferencing_delay,
+    delay_violations,
+    flow_delay,
+    max_session_flow_delay,
+    session_delay_cost,
+    session_user_delays,
+)
+from repro.errors import ModelError
+from tests.conftest import build_pair_conference
+
+SIGMA_720_480 = 38.0
+
+
+class TestUntranscodedFlow:
+    @pytest.fixture()
+    def conf(self):
+        return build_pair_conference("720p", "480p", "480p", "720p")
+
+    def test_direct_path(self, conf):
+        assignment = Assignment(np.array([0, 1]), np.zeros(0, dtype=np.int64))
+        # u0 -> u1: H[L0,u0] + D + H[L1,u1] = 10 + 20 + 8.
+        assert flow_delay(conf, assignment, 0, 1) == pytest.approx(38.0)
+        assert flow_delay(conf, assignment, 1, 0) == pytest.approx(38.0)
+
+    def test_same_agent_no_inter_hop(self, conf):
+        assignment = Assignment(np.array([0, 0]), np.zeros(0, dtype=np.int64))
+        # u0 -> u1: 10 + 0 + 30.
+        assert flow_delay(conf, assignment, 0, 1) == pytest.approx(40.0)
+
+    def test_requires_same_session_distinct_users(self, conf):
+        assignment = Assignment(np.array([0, 1]), np.zeros(0, dtype=np.int64))
+        with pytest.raises(ModelError):
+            flow_delay(conf, assignment, 0, 0)
+
+
+class TestTranscodedFlow:
+    @pytest.fixture()
+    def conf(self):
+        return build_pair_conference("720p", "360p", "360p", "480p")
+
+    def test_transcode_at_source_agent(self, conf):
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        # 10 + D(L0,L0) + D(L0,L1) + sigma + 8 = 10 + 0 + 20 + 38 + 8.
+        assert flow_delay(conf, assignment, 0, 1) == pytest.approx(76.0)
+
+    def test_transcode_at_destination_agent(self, conf):
+        assignment = Assignment(np.array([0, 1]), np.array([1]))
+        # 10 + D(L0,L1) + D(L1,L1) + sigma + 8.
+        assert flow_delay(conf, assignment, 0, 1) == pytest.approx(76.0)
+
+    def test_tertiary_round_trip(self, conf):
+        """Users co-located on L0 but task on L1: the stream pays the
+        round trip 2 * D, matching the paper's D_lk (lambda_ku +
+        lambda_kv) term."""
+        assignment = Assignment(np.array([0, 0]), np.array([1]))
+        # H[L0,u0] + D + D + sigma + H[L0,u1] = 10 + 20 + 20 + 38 + 30.
+        assert flow_delay(conf, assignment, 0, 1) == pytest.approx(118.0)
+
+    def test_untranscoded_reverse_flow_unaffected(self, conf):
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        # u1 -> u0 raw: 8 + 20 + 10.
+        assert flow_delay(conf, assignment, 1, 0) == pytest.approx(38.0)
+
+    def test_faster_agent_reduces_delay(self):
+        conf = build_pair_conference(
+            "720p", "360p", "360p", "480p", agent_speeds=(2.0, 1.0)
+        )
+        fast = Assignment(np.array([0, 1]), np.array([0]))
+        slow = Assignment(np.array([0, 1]), np.array([1]))
+        assert flow_delay(conf, fast, 0, 1) < flow_delay(conf, slow, 0, 1)
+
+
+class TestAggregates:
+    @pytest.fixture()
+    def conf(self):
+        return build_pair_conference("720p", "360p", "360p", "480p")
+
+    def test_per_user_worst_incoming(self, conf):
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        delays = session_user_delays(conf, assignment, 0)
+        assert delays[1] == pytest.approx(76.0)  # receives the transcoded flow
+        assert delays[0] == pytest.approx(38.0)  # receives u1's raw flow
+
+    def test_session_delay_cost_is_mean(self, conf):
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        assert session_delay_cost(conf, assignment, 0) == pytest.approx(57.0)
+
+    def test_max_flow_delay(self, conf):
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        assert max_session_flow_delay(conf, assignment, 0) == pytest.approx(76.0)
+
+    def test_average_conferencing_delay(self, conf):
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        assert average_conferencing_delay(conf, assignment) == pytest.approx(57.0)
+
+    def test_delay_violations_against_cap(self, conf):
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        assert delay_violations(conf, assignment, 0) == []  # Dmax = 400
+        violations = delay_violations(conf, assignment, 0, dmax_ms=50.0)
+        assert (0, 1, pytest.approx(76.0)) in [
+            (s, d, v) for s, d, v in violations
+        ]
+        assert len(violations) == 1

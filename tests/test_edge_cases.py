@@ -1,0 +1,207 @@
+"""Edge-case and error-path tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.markov import MarkovAssignmentSolver, MarkovConfig
+from repro.core.nearest import nearest_assignment
+from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.errors import (
+    CapacityError,
+    ConvergenceError,
+    ExperimentError,
+    InfeasibleError,
+    ModelError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    UnknownEntityError,
+)
+from repro.model.builder import ConferenceBuilder
+from repro.model.conference import merge_conference_users
+from repro.model.representation import PAPER_LADDER
+from repro.model.user import User
+from repro.types import DEFAULT_DMAX_MS, UNASSIGNED
+from tests.conftest import PAIR_D, PAIR_H, build_pair_conference
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for error_type in (
+            ModelError,
+            UnknownEntityError,
+            CapacityError,
+            InfeasibleError,
+            ConvergenceError,
+            SolverError,
+            SimulationError,
+            ExperimentError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_unknown_entity_is_model_error(self):
+        assert issubclass(UnknownEntityError, ModelError)
+
+    def test_infeasible_carries_report(self):
+        error = InfeasibleError("nope", report={"why": "capacity"})
+        assert error.report == {"why": "capacity"}
+
+
+class TestTypes:
+    def test_constants(self):
+        assert UNASSIGNED == -1
+        assert DEFAULT_DMAX_MS == 400.0
+
+
+class TestMergeConferenceUsers:
+    def test_dedupes_identical(self):
+        user = User(uid=0, upstream=PAPER_LADDER["720p"],
+                    downstream_default=PAPER_LADDER["480p"])
+        merged = merge_conference_users([user, user])
+        assert merged == (user,)
+
+    def test_conflicting_duplicates_rejected(self):
+        a = User(uid=0, upstream=PAPER_LADDER["720p"],
+                 downstream_default=PAPER_LADDER["480p"])
+        b = User(uid=0, upstream=PAPER_LADDER["360p"],
+                 downstream_default=PAPER_LADDER["480p"])
+        with pytest.raises(ModelError):
+            merge_conference_users([a, b])
+
+    def test_sorted_output(self):
+        users = [
+            User(uid=i, upstream=PAPER_LADDER["720p"],
+                 downstream_default=PAPER_LADDER["480p"])
+            for i in (2, 0, 1)
+        ]
+        merged = merge_conference_users(users)
+        assert [u.uid for u in merged] == [0, 1, 2]
+
+
+class TestSolverEdgeCases:
+    def test_hop_with_no_feasible_candidates_stays(self):
+        """Starve the instance: capacities so tight that no neighbour fits
+        -> HOP reports no candidates and keeps the state."""
+        builder = ConferenceBuilder(PAPER_LADDER)
+        # Two agents; only the current placement fits (asymmetric caps).
+        builder.add_agent(name="L0", download_mbps=8.0, upload_mbps=8.0)
+        builder.add_agent(name="L1", download_mbps=0.0, upload_mbps=0.0)
+        u0 = builder.user("480p", "480p", name="u0")
+        u1 = builder.user("480p", "480p", name="u1")
+        builder.add_session(u0, u1)
+        conf = builder.build(inter_agent_ms=PAIR_D, agent_user_ms=PAIR_H)
+        evaluator = ObjectiveEvaluator(conf, ObjectiveWeights.normalized_for(conf))
+        both_l0 = Assignment(np.array([0, 0]), np.zeros(0, dtype=np.int64))
+        solver = MarkovAssignmentSolver(
+            evaluator, both_l0, rng=np.random.default_rng(0)
+        )
+        result = solver.session_hop(0)
+        assert not result.moved
+        assert result.num_candidates == 0
+        assert solver.assignment == both_l0
+
+    def test_metropolis_seedable_rejection_path(self):
+        conf = build_pair_conference("720p", "360p", "360p", "480p")
+        evaluator = ObjectiveEvaluator(conf, ObjectiveWeights.normalized_for(conf))
+        solver = MarkovAssignmentSolver(
+            evaluator,
+            nearest_assignment(conf),
+            config=MarkovConfig(beta=1000.0, hop_rule="metropolis"),
+            rng=np.random.default_rng(0),
+        )
+        solver.run(50)
+        # At huge beta the chain settles; rejections dominate.
+        assert solver.migrations < 50
+
+    def test_best_assignment_independent_of_current(self):
+        conf = build_pair_conference("720p", "360p", "360p", "480p")
+        evaluator = ObjectiveEvaluator(conf, ObjectiveWeights.normalized_for(conf))
+        solver = MarkovAssignmentSolver(
+            evaluator,
+            nearest_assignment(conf),
+            config=MarkovConfig(beta=8.0),
+            rng=np.random.default_rng(3),
+        )
+        solver.run(200)
+        best_phi = evaluator.total(solver.best_assignment).phi
+        current_phi = evaluator.total(solver.assignment).phi
+        assert best_phi <= current_phi + 1e-12
+
+
+class TestObjectiveWeightEdges:
+    def test_single_alpha_modes(self):
+        conf = build_pair_conference("720p", "360p", "360p", "480p")
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        for alphas in ((1, 0, 0), (0, 1, 0), (0, 0, 1)):
+            weights = ObjectiveWeights.raw(*alphas)
+            evaluator = ObjectiveEvaluator(conf, weights)
+            phi = evaluator.session_phi(assignment, 0)
+            assert phi >= 0.0
+
+    def test_transcode_only_counts_tasks(self):
+        conf = build_pair_conference("720p", "360p", "360p", "480p")
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        evaluator = ObjectiveEvaluator(conf, ObjectiveWeights.raw(0, 0, 1))
+        assert evaluator.session_phi(assignment, 0) == pytest.approx(1.0)
+
+
+class TestExactSubsets:
+    @pytest.fixture()
+    def two_session_conf(self):
+        builder = ConferenceBuilder(PAPER_LADDER)
+        builder.add_agent(name="L0")
+        builder.add_agent(name="L1")
+        ids = [builder.user("720p", "480p", name=f"u{i}") for i in range(4)]
+        builder.add_session(ids[0], ids[1])
+        builder.add_session(ids[2], ids[3])
+        return builder.build(
+            inter_agent_ms=PAIR_D, agent_user_ms=np.full((2, 4), 10.0)
+        )
+
+    def test_enumerate_single_session_of_many(self, two_session_conf):
+        from repro.core.exact import enumerate_assignments, state_space_size
+
+        conf = two_session_conf
+        size = state_space_size(conf, [0])
+        assert size < state_space_size(conf)
+        count = sum(
+            1
+            for _ in enumerate_assignments(conf, [0], feasible_only=False)
+        )
+        assert count == size
+
+    def test_subset_states_leave_other_sessions_unassigned(
+        self, two_session_conf
+    ):
+        from repro.core.exact import enumerate_assignments
+
+        conf = two_session_conf
+        for assignment in enumerate_assignments(conf, [0], feasible_only=False):
+            assert assignment.agent_of(2) == UNASSIGNED
+            assert assignment.agent_of(3) == UNASSIGNED
+
+
+class TestTheoryEdges:
+    def test_simulate_occupancy_requires_positive_hops(self, toy_conf):
+        from repro.core.theory import build_state_space, simulate_occupancy
+
+        evaluator = ObjectiveEvaluator(
+            toy_conf, ObjectiveWeights.normalized_for(toy_conf)
+        )
+        space = build_state_space(evaluator)
+        with pytest.raises(SolverError):
+            simulate_occupancy(
+                evaluator, space, space.assignments[0], beta=2.0, hops=0
+            )
+
+    def test_state_space_index_of_foreign_state(self, toy_conf):
+        from repro.core.theory import build_state_space
+
+        evaluator = ObjectiveEvaluator(
+            toy_conf, ObjectiveWeights.normalized_for(toy_conf)
+        )
+        space = build_state_space(evaluator)
+        foreign = Assignment(np.array([-1, -1]), np.array([-1]))
+        with pytest.raises(SolverError):
+            space.index_of(foreign)

@@ -1,0 +1,61 @@
+"""Tests for the runtime-based experiment runners (Figs. 4, 6, 7) at
+reduced horizons."""
+
+import pytest
+
+from repro.experiments.fig4_convergence import run_fig4
+from repro.experiments.fig6_agrank_init import run_fig6
+from repro.experiments.fig7_sessions import pick_sessions_by_size, run_fig7
+
+
+class TestFig4Runner:
+    def test_summary_rows_complete(self):
+        result = run_fig4(seed=3, betas=(400.0,), duration_s=60.0)
+        (row,) = result.summary_rows()
+        assert row["beta"] == 400
+        assert row["traffic0 (Mbps)"] > 0
+        assert row["t_conv (s)"] <= 60.0
+        assert row["migrations"] > 0
+
+    def test_bundle_series_aligned(self):
+        result = run_fig4(seed=3, betas=(400.0,), duration_s=60.0)
+        bundle = result.bundles[400.0]
+        t_traffic, traffic = bundle.get("traffic")
+        t_delay, delay = bundle.get("delay")
+        assert len(t_traffic) == len(traffic) == len(t_delay) == len(delay)
+
+
+class TestFig6Runner:
+    def test_agrank_initial_beats_nrst(self):
+        result = run_fig6(seed=7, duration_s=50.0)
+        _, traffic = result.bundle.get("traffic")
+        assert float(traffic[0]) < result.nrst_initial_traffic
+        rows = result.summary_rows()
+        assert rows[0]["quantity"] == "initial traffic (Mbps)"
+        assert rows[0]["change (%)"] < 0
+
+
+class TestFig7Runner:
+    def test_tracks_requested_sizes(self):
+        result = run_fig7(seed=7, duration_s=60.0)
+        assert sorted(result.session_sizes.values(), reverse=True) == [5, 4, 3]
+        for bundle in result.bundles.values():
+            times, _ = bundle.get("traffic")
+            assert times[-1] <= 60.0
+
+    def test_pick_sessions_by_size(self):
+        sizes = {0: 5, 1: 3, 2: 4, 3: 3}
+        assert pick_sessions_by_size(sizes, (5, 4, 3)) == [0, 2, 1]
+        assert pick_sessions_by_size(sizes, (3, 3)) == [1, 3]
+
+    def test_pick_sessions_missing_size_raises(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            pick_sessions_by_size({0: 5}, (4,))
+
+    def test_report_mentions_all_sessions(self):
+        result = run_fig7(seed=7, duration_s=40.0)
+        text = result.format_report()
+        for sid in result.bundles:
+            assert str(sid) in text

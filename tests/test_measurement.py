@@ -1,0 +1,95 @@
+"""Tests for repro.netsim.measurement — the measured-vs-true view (A8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.markov import MarkovAssignmentSolver, MarkovConfig
+from repro.core.nearest import nearest_assignment
+from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.errors import ModelError
+from repro.netsim.measurement import MeasurementErrorModel, measured_conference
+
+
+class TestMeasuredConference:
+    def test_zero_error_is_identity(self, proto_conf, rng):
+        model = MeasurementErrorModel(delay_sigma_ms=0.0, sigma_speed_error=0.0)
+        measured = measured_conference(proto_conf, model, rng)
+        assert np.array_equal(
+            measured.topology.inter_agent_ms, proto_conf.topology.inter_agent_ms
+        )
+        assert np.array_equal(
+            measured.topology.agent_user_ms, proto_conf.topology.agent_user_ms
+        )
+
+    def test_structure_preserved(self, proto_conf, rng):
+        model = MeasurementErrorModel(delay_sigma_ms=5.0, sigma_speed_error=0.2)
+        measured = measured_conference(proto_conf, model, rng)
+        assert measured.num_users == proto_conf.num_users
+        assert measured.num_sessions == proto_conf.num_sessions
+        assert measured.transcode_pairs == proto_conf.transcode_pairs
+        assert [a.name for a in measured.agents] == [
+            a.name for a in proto_conf.agents
+        ]
+
+    def test_measured_d_valid_topology(self, proto_conf, rng):
+        model = MeasurementErrorModel(delay_sigma_ms=10.0)
+        measured = measured_conference(proto_conf, model, rng)
+        d = measured.topology.inter_agent_ms
+        assert np.allclose(np.diag(d), 0.0)
+        assert measured.topology.is_symmetric()
+        assert (d[~np.eye(d.shape[0], dtype=bool)] > 0).all()
+
+    def test_bias_shifts_delays(self, proto_conf, rng):
+        model = MeasurementErrorModel(delay_sigma_ms=0.0, delay_bias_ms=7.0)
+        measured = measured_conference(proto_conf, model, rng)
+        true_h = proto_conf.topology.agent_user_ms
+        assert np.allclose(measured.topology.agent_user_ms, true_h + 7.0)
+
+    def test_speed_error_changes_latency(self, proto_conf):
+        model = MeasurementErrorModel(delay_sigma_ms=0.0, sigma_speed_error=0.5)
+        measured = measured_conference(
+            proto_conf, model, np.random.default_rng(1)
+        )
+        ladder = proto_conf.representations
+        high, low = ladder["720p"], ladder["480p"]
+        changed = any(
+            measured.agent(a.aid).transcoding_latency_ms(high, low)
+            != a.transcoding_latency_ms(high, low)
+            for a in proto_conf.agents
+        )
+        assert changed
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MeasurementErrorModel(delay_sigma_ms=-1.0)
+        with pytest.raises(ModelError):
+            MeasurementErrorModel(sigma_speed_error=-0.1)
+
+
+class TestOptimizeOnMeasuredEvaluateOnTrue:
+    def test_assignment_transfers_and_stays_useful(self, proto_conf):
+        """The A8 mechanism: solve on the measured view, score on the
+        truth.  Moderate measurement error must not destroy the win over
+        Nrst."""
+        rng = np.random.default_rng(2)
+        model = MeasurementErrorModel(delay_sigma_ms=5.0, sigma_speed_error=0.2)
+        measured = measured_conference(proto_conf, model, rng)
+
+        true_eval = ObjectiveEvaluator(
+            proto_conf, ObjectiveWeights.normalized_for(proto_conf)
+        )
+        measured_eval = ObjectiveEvaluator(
+            measured, ObjectiveWeights.normalized_for(measured)
+        )
+        initial = nearest_assignment(measured)
+        solver = MarkovAssignmentSolver(
+            measured_eval,
+            initial,
+            config=MarkovConfig(beta=32.0),
+            rng=np.random.default_rng(3),
+        )
+        solver.run(400)
+
+        true_before = true_eval.total(nearest_assignment(proto_conf)).phi
+        true_after = true_eval.total(solver.best_assignment).phi
+        assert true_after < true_before

@@ -1,0 +1,82 @@
+"""Tests for repro.model.agent."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.agent import (
+    Agent,
+    LinearTranscodingLatency,
+    PROTOTYPE_LATENCY_RANGE_MS,
+    TranscodingLatencyModel,
+)
+from repro.model.representation import PAPER_LADDER
+
+R1080 = PAPER_LADDER["1080p"]
+R720 = PAPER_LADDER["720p"]
+R480 = PAPER_LADDER["480p"]
+R360 = PAPER_LADDER["360p"]
+
+
+class TestLinearTranscodingLatency:
+    def test_increasing_in_input_bitrate(self):
+        model = LinearTranscodingLatency()
+        assert model(R1080, R480) > model(R720, R480)
+
+    def test_increasing_in_output_bitrate(self):
+        model = LinearTranscodingLatency()
+        assert model(R720, R480) > model(R720, R360)
+
+    def test_speed_divides_latency(self):
+        slow = LinearTranscodingLatency(speed=1.0)
+        fast = LinearTranscodingLatency(speed=2.0)
+        assert fast(R720, R480) == pytest.approx(slow(R720, R480) / 2.0)
+
+    def test_reference_latency_in_prototype_envelope(self):
+        """A reference-speed agent's typical transcode lands inside the
+        paper's [30, 60] ms envelope."""
+        low, high = PROTOTYPE_LATENCY_RANGE_MS
+        value = LinearTranscodingLatency().reference_latency_ms()
+        assert low <= value <= high
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelError):
+            LinearTranscodingLatency(base_ms=-1.0)
+        with pytest.raises(ModelError):
+            LinearTranscodingLatency(speed=0.0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(LinearTranscodingLatency(), TranscodingLatencyModel)
+
+
+class TestAgent:
+    def test_defaults_are_unlimited(self):
+        agent = Agent(aid=0)
+        assert math.isinf(agent.upload_mbps)
+        assert math.isinf(agent.download_mbps)
+        assert math.isinf(agent.transcode_slots)
+
+    def test_default_name(self):
+        assert Agent(aid=4).name == "a4"
+
+    def test_transcoding_latency_delegates(self):
+        agent = Agent(aid=0, latency=LinearTranscodingLatency(speed=2.0))
+        expected = LinearTranscodingLatency(speed=2.0)(R720, R480)
+        assert agent.transcoding_latency_ms(R720, R480) == expected
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            Agent(aid=0, upload_mbps=-5.0)
+
+    def test_nan_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            Agent(aid=0, download_mbps=float("nan"))
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ModelError):
+            Agent(aid=-2)
+
+    def test_str_shows_inf(self):
+        assert "inf" in str(Agent(aid=0))
+        assert "500" in str(Agent(aid=0, upload_mbps=500.0))

@@ -1,0 +1,82 @@
+"""Tests for repro.model.representation."""
+
+import pytest
+
+from repro.errors import ModelError, UnknownEntityError
+from repro.model.representation import PAPER_LADDER, Representation, RepresentationSet
+
+
+class TestRepresentation:
+    def test_kappa_is_bitrate(self):
+        rep = Representation(5.0, "720p", 720)
+        assert rep.kappa == 5.0
+
+    def test_ordering_by_bitrate(self):
+        low = Representation(1.0, "360p")
+        high = Representation(8.0, "1080p")
+        assert low < high
+
+    def test_rejects_nonpositive_bitrate(self):
+        with pytest.raises(ModelError):
+            Representation(0.0, "zero")
+        with pytest.raises(ModelError):
+            Representation(-1.0, "neg")
+
+    def test_str_mentions_name_and_bitrate(self):
+        assert "720p" in str(Representation(5.0, "720p"))
+        assert "5" in str(Representation(5.0, "720p"))
+
+    def test_equality_and_hash(self):
+        a = Representation(5.0, "720p", 720)
+        b = Representation(5.0, "720p", 720)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRepresentationSet:
+    def test_sorted_ascending_quality(self):
+        reps = RepresentationSet(
+            [Representation(8.0, "1080p"), Representation(1.0, "360p")]
+        )
+        assert reps.names == ("360p", "1080p")
+
+    def test_lookup_by_name(self):
+        assert PAPER_LADDER["720p"].bitrate_mbps == 5.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownEntityError):
+            PAPER_LADDER["4k"]
+
+    def test_contains_name_and_representation(self):
+        rep = PAPER_LADDER["480p"]
+        assert "480p" in PAPER_LADDER
+        assert rep in PAPER_LADDER
+        assert 42 not in PAPER_LADDER
+
+    def test_index_round_trip(self):
+        for i, rep in enumerate(PAPER_LADDER):
+            assert PAPER_LADDER.index_of(rep) == i
+            assert PAPER_LADDER.at(i) == rep
+
+    def test_index_of_foreign_rep_raises(self):
+        with pytest.raises(UnknownEntityError):
+            PAPER_LADDER.index_of(Representation(99.0, "8k"))
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ModelError):
+            RepresentationSet([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError):
+            RepresentationSet(
+                [Representation(1.0, "x"), Representation(2.0, "x")]
+            )
+
+    def test_paper_ladder_values(self):
+        """The ladder the paper quotes: (360p, 1), (480p, 2.5), (720p, 5),
+        (1080p, 8), plus 240p for the migration-overhead model."""
+        expected = {"240p": 0.4, "360p": 1.0, "480p": 2.5, "720p": 5.0, "1080p": 8.0}
+        assert {r.name: r.bitrate_mbps for r in PAPER_LADDER} == expected
+
+    def test_max_bitrate(self):
+        assert PAPER_LADDER.max_bitrate == 8.0

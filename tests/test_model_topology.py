@@ -1,0 +1,74 @@
+"""Tests for repro.model.topology."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.topology import Topology
+
+D = np.array([[0.0, 30.0], [30.0, 0.0]])
+H = np.array([[10.0, 40.0], [35.0, 5.0]])
+
+
+class TestTopologyValidation:
+    def test_valid(self):
+        topo = Topology(D, H)
+        assert topo.num_agents == 2
+        assert topo.num_users == 2
+
+    def test_rejects_non_square_d(self):
+        with pytest.raises(ModelError):
+            Topology(np.zeros((2, 3)), H)
+
+    def test_rejects_mismatched_h(self):
+        with pytest.raises(ModelError):
+            Topology(D, np.zeros((3, 2)))
+
+    def test_rejects_negative_delays(self):
+        bad = D.copy()
+        bad[0, 1] = -1.0
+        bad[1, 0] = -1.0
+        with pytest.raises(ModelError):
+            Topology(bad, H)
+
+    def test_rejects_nonzero_diagonal(self):
+        bad = D.copy()
+        bad[0, 0] = 5.0
+        with pytest.raises(ModelError):
+            Topology(bad, H)
+
+    def test_rejects_nonfinite(self):
+        bad = H.copy()
+        bad[0, 0] = np.inf
+        with pytest.raises(ModelError):
+            Topology(D, bad)
+
+
+class TestTopologyAccess:
+    def test_lookups(self):
+        topo = Topology(D, H)
+        assert topo.agent_to_agent(0, 1) == 30.0
+        assert topo.agent_to_user(1, 0) == 35.0
+
+    def test_matrices_are_read_only_copies(self):
+        source = D.copy()
+        topo = Topology(source, H)
+        source[0, 1] = 999.0
+        assert topo.agent_to_agent(0, 1) == 30.0
+        with pytest.raises(ValueError):
+            topo.inter_agent_ms[0, 1] = 1.0
+
+    def test_nearest_agents_sorted_by_delay(self):
+        topo = Topology(D, H)
+        assert list(topo.nearest_agents(0)) == [0, 1]  # 10 < 35
+        assert list(topo.nearest_agents(1)) == [1, 0]  # 5 < 40
+
+    def test_nearest_agents_stable_ties(self):
+        h_tie = np.array([[10.0], [10.0]])
+        topo = Topology(D, h_tie)
+        assert list(topo.nearest_agents(0)) == [0, 1]
+
+    def test_is_symmetric(self):
+        assert Topology(D, H).is_symmetric()
+        asym = np.array([[0.0, 30.0], [31.0, 0.0]])
+        assert not Topology(asym, H).is_symmetric()

@@ -1,0 +1,70 @@
+"""Tests for repro.model.user."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.representation import PAPER_LADDER
+from repro.model.user import Session, User
+
+R720 = PAPER_LADDER["720p"]
+R480 = PAPER_LADDER["480p"]
+R360 = PAPER_LADDER["360p"]
+
+
+class TestUser:
+    def test_default_name(self):
+        user = User(uid=3, upstream=R720, downstream_default=R480)
+        assert user.name == "u3"
+
+    def test_downstream_default_and_override(self):
+        user = User(
+            uid=0,
+            upstream=R720,
+            downstream_default=R480,
+            downstream_overrides={5: R360},
+        )
+        assert user.downstream_from(1) == R480
+        assert user.downstream_from(5) == R360
+
+    def test_negative_uid_rejected(self):
+        with pytest.raises(ModelError):
+            User(uid=-1, upstream=R720, downstream_default=R480)
+
+    def test_str_mentions_upstream(self):
+        assert "720p" in str(User(uid=0, upstream=R720, downstream_default=R480))
+
+
+class TestSession:
+    def test_user_ids_sorted_and_deduped_check(self):
+        session = Session(sid=0, user_ids=(3, 1, 2))
+        assert session.user_ids == (1, 2, 3)
+
+    def test_duplicate_users_rejected(self):
+        with pytest.raises(ModelError):
+            Session(sid=0, user_ids=(1, 1, 2))
+
+    def test_minimum_two_users(self):
+        with pytest.raises(ModelError):
+            Session(sid=0, user_ids=(1,))
+
+    def test_default_initiator_is_first(self):
+        assert Session(sid=0, user_ids=(4, 2)).initiator == 2
+
+    def test_explicit_initiator_must_participate(self):
+        assert Session(sid=0, user_ids=(1, 2), initiator=2).initiator == 2
+        with pytest.raises(ModelError):
+            Session(sid=0, user_ids=(1, 2), initiator=9)
+
+    def test_others_excludes_self(self):
+        session = Session(sid=1, user_ids=(1, 2, 3))
+        assert session.others(2) == (1, 3)
+
+    def test_others_unknown_user_raises(self):
+        with pytest.raises(ModelError):
+            Session(sid=1, user_ids=(1, 2)).others(7)
+
+    def test_len_and_contains(self):
+        session = Session(sid=0, user_ids=(1, 2, 3))
+        assert len(session) == 3
+        assert 2 in session
+        assert 9 not in session

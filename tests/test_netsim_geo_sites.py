@@ -1,0 +1,81 @@
+"""Tests for repro.netsim.geo and repro.netsim.sites."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.netsim.geo import EARTH_RADIUS_KM, GeoPoint, great_circle_km
+from repro.netsim.sites import (
+    CLOUD_REGIONS,
+    CONTINENT_WEIGHTS,
+    USER_SITES,
+    region,
+    sample_user_sites,
+)
+
+
+class TestGeo:
+    def test_zero_distance(self):
+        p = GeoPoint(10.0, 20.0)
+        assert great_circle_km(p, p) == 0.0
+
+    def test_symmetry(self):
+        a, b = GeoPoint(37.87, -122.27), GeoPoint(35.68, 139.69)
+        assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+    def test_known_distance_sf_tokyo(self):
+        """Berkeley-Tokyo is roughly 8 200 km."""
+        a, b = GeoPoint(37.87, -122.27), GeoPoint(35.68, 139.69)
+        assert great_circle_km(a, b) == pytest.approx(8250, rel=0.05)
+
+    def test_antipodal_max(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(0.0, 180.0)
+        assert great_circle_km(a, b) == pytest.approx(np.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_latitude_bounds(self):
+        with pytest.raises(ModelError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ModelError):
+            GeoPoint(0.0, 181.0)
+
+
+class TestSites:
+    def test_catalog_continent_mix(self):
+        """The catalog is PlanetLab-like: NA-heavy, then EU, then Asia."""
+        counts: dict[str, int] = {}
+        for site in USER_SITES:
+            counts[site.continent] = counts.get(site.continent, 0) + 1
+        assert counts["NA"] > counts["EU"] > counts["SA"]
+        assert counts["AS"] >= 8
+
+    def test_continent_weights_normalized(self):
+        assert sum(CONTINENT_WEIGHTS.values()) == pytest.approx(1.0)
+
+    def test_region_lookup_by_name_and_code(self):
+        assert region("Tokyo").code == "ap-northeast-1"
+        assert region("ap-northeast-1").name == "Tokyo"
+        with pytest.raises(ModelError):
+            region("Mars")
+
+    def test_seven_plus_regions_available(self):
+        assert len(CLOUD_REGIONS) >= 7
+
+    def test_sample_exact_catalog_prefix(self):
+        rng = np.random.default_rng(0)
+        sites = sample_user_sites(5, rng)
+        assert [s.name for s in sites] == [s.name for s in USER_SITES[:5]]
+
+    def test_sample_expansion_deterministic(self):
+        a = sample_user_sites(256, np.random.default_rng(42))
+        b = sample_user_sites(256, np.random.default_rng(42))
+        assert [s.name for s in a] == [s.name for s in b]
+        assert len(a) == 256
+
+    def test_sample_expansion_unique_names(self):
+        sites = sample_user_sites(300, np.random.default_rng(1))
+        names = [s.name for s in sites]
+        assert len(set(names)) == len(names)
+
+    def test_sample_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            sample_user_sites(0, np.random.default_rng(0))

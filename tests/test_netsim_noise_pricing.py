@@ -1,0 +1,90 @@
+"""Tests for repro.netsim.noise and repro.netsim.pricing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.netsim.noise import GaussianNoise, NoNoise, QuantizedPerturbation
+from repro.netsim.pricing import (
+    RegionPricing,
+    egress_cost_per_hour,
+    transcode_cost_per_hour,
+)
+
+
+class TestNoNoise:
+    def test_identity(self, rng):
+        assert NoNoise().perturb(42.0, rng) == 42.0
+
+
+class TestGaussianNoise:
+    def test_zero_sigma_is_identity(self, rng):
+        assert GaussianNoise(sigma=0.0).perturb(1.5, rng) == 1.5
+
+    def test_bounded(self, rng):
+        noise = GaussianNoise(sigma=1.0, bound=0.5)
+        draws = [noise.perturb(0.0, rng) for _ in range(200)]
+        assert max(abs(d) for d in draws) <= 0.5
+
+    def test_default_bound_three_sigma(self):
+        assert GaussianNoise(sigma=2.0).bound == 6.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ModelError):
+            GaussianNoise(sigma=-1.0)
+
+
+class TestQuantizedPerturbation:
+    def test_offsets_symmetric(self):
+        model = QuantizedPerturbation(delta=0.4, levels=2)
+        assert list(model.offsets) == pytest.approx([-0.4, -0.2, 0.0, 0.2, 0.4])
+
+    def test_uniform_eta_default(self):
+        model = QuantizedPerturbation(delta=1.0, levels=3)
+        assert len(model.eta) == 7
+        assert sum(model.eta) == pytest.approx(1.0)
+
+    def test_perturbation_stays_in_support(self, rng):
+        model = QuantizedPerturbation(delta=0.3, levels=4)
+        support = {round(o, 9) for o in model.offsets}
+        for _ in range(100):
+            offset = model.perturb(10.0, rng) - 10.0
+            assert round(offset, 9) in support
+
+    def test_eta_validation(self):
+        with pytest.raises(ModelError):
+            QuantizedPerturbation(delta=1.0, levels=1, eta=(0.5, 0.5))  # wrong len
+        with pytest.raises(ModelError):
+            QuantizedPerturbation(delta=1.0, levels=1, eta=(0.9, 0.2, 0.2))  # sum != 1
+
+    def test_delta_factor_at_least_one_for_uniform(self):
+        """delta_f = E[exp(beta * error)] >= exp(E[..]) = 1 by Jensen."""
+        model = QuantizedPerturbation(delta=0.2, levels=4)
+        assert model.delta_factor(beta=5.0) >= 1.0
+
+    def test_delta_factor_zero_delta_is_one(self):
+        model = QuantizedPerturbation(delta=0.0, levels=2)
+        assert model.delta_factor(beta=100.0) == pytest.approx(1.0)
+
+
+class TestPricing:
+    def test_egress_linear_in_mbps(self):
+        assert egress_cost_per_hour(20.0, 0.09) == pytest.approx(
+            2 * egress_cost_per_hour(10.0, 0.09)
+        )
+
+    def test_egress_magnitude(self):
+        """100 Mbps sustained ~= 41.9 GB/h -> about $3.8/h at $0.09/GB."""
+        assert egress_cost_per_hour(100.0, 0.09) == pytest.approx(3.77, rel=0.02)
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ModelError):
+            egress_cost_per_hour(-1.0, 0.09)
+
+    def test_transcode_cost(self):
+        pricing = RegionPricing(transcode_price_per_task_hour=0.05)
+        assert transcode_cost_per_hour(4, pricing) == pytest.approx(0.2)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ModelError):
+            RegionPricing(egress_price_per_gb=-0.1)

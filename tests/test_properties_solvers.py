@@ -1,0 +1,127 @@
+"""Property-based tests of the solvers' post-conditions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agrank import AgRankConfig
+from repro.core.bootstrap import try_bootstrap
+from repro.core.capacity import CapacityLedger
+from repro.core.feasibility import is_feasible
+from repro.core.markov import MarkovAssignmentSolver, MarkovConfig
+from repro.core.nearest import nearest_assignment
+from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.core.traffic import compute_session_usage
+from repro.model.builder import ConferenceBuilder
+from repro.model.representation import PAPER_LADDER
+
+REP_NAMES = ("360p", "480p", "720p", "1080p")
+
+
+@st.composite
+def capacity_conference(draw):
+    """Two sessions over three agents with random demands and capacities."""
+    builder = ConferenceBuilder(PAPER_LADDER)
+    for i in range(3):
+        builder.add_agent(
+            name=f"L{i}",
+            download_mbps=draw(st.floats(20.0, 200.0)),
+            upload_mbps=draw(st.floats(20.0, 200.0)),
+            transcode_slots=draw(st.integers(0, 8)),
+        )
+    user_ids = []
+    for _ in range(5):
+        user_ids.append(
+            builder.user(
+                upstream=draw(st.sampled_from(REP_NAMES)),
+                downstream=draw(st.sampled_from(REP_NAMES)),
+            )
+        )
+    builder.add_session(user_ids[0], user_ids[1], user_ids[2])
+    builder.add_session(user_ids[3], user_ids[4])
+    num_users = len(user_ids)
+    d = np.full((3, 3), 25.0)
+    np.fill_diagonal(d, 0.0)
+    h = np.array(
+        [[draw(st.floats(5.0, 60.0)) for _ in range(num_users)] for _ in range(3)]
+    )
+    return builder.build(inter_agent_ms=d, agent_user_ms=h)
+
+
+class TestBootstrapPostconditions:
+    @given(capacity_conference())
+    @settings(max_examples=25, deadline=None)
+    def test_successful_bootstrap_is_capacity_feasible(self, conf):
+        """Whenever try_bootstrap reports success, the assignment really
+        satisfies constraints (1)-(7)."""
+        result = try_bootstrap(
+            conf, "agrank", config=AgRankConfig(n_ngbr=2), check_delay=False
+        )
+        if result.success:
+            assert is_feasible(conf, result.assignment, dmax_ms=float("inf"))
+
+    @given(capacity_conference())
+    @settings(max_examples=25, deadline=None)
+    def test_more_candidates_never_hurt_admission(self, conf):
+        """If AgRank admits a conference with n_ngbr = 1 it also admits it
+        with every larger pool (the pool is a superset per user)."""
+        outcomes = {}
+        for n in (1, 2, 3):
+            outcomes[n] = try_bootstrap(
+                conf, "agrank", config=AgRankConfig(n_ngbr=n), check_delay=False
+            ).success
+        if outcomes[1]:
+            assert outcomes[2] and outcomes[3]
+
+
+class TestLedgerConsistency:
+    @given(capacity_conference())
+    @settings(max_examples=25, deadline=None)
+    def test_set_remove_roundtrip_restores_totals(self, conf):
+        assignment = nearest_assignment(conf)
+        ledger = CapacityLedger(conf)
+        before = [a.copy() for a in ledger.totals()]
+        usage = compute_session_usage(conf, assignment, 0)
+        ledger.set_session(usage)
+        ledger.remove_session(0)
+        after = ledger.totals()
+        for b, a in zip(before, after):
+            assert np.allclose(b, a)
+
+    @given(capacity_conference())
+    @settings(max_examples=25, deadline=None)
+    def test_residuals_plus_usage_equals_capacity(self, conf):
+        assignment = nearest_assignment(conf)
+        ledger = CapacityLedger.from_assignment(conf, assignment)
+        res_down, res_up, res_slots = ledger.residuals()
+        down, up, slots = ledger.totals()
+        caps_down = np.array([a.download_mbps for a in conf.agents])
+        caps_up = np.array([a.upload_mbps for a in conf.agents])
+        caps_slots = np.array([float(a.transcode_slots) for a in conf.agents])
+        assert np.allclose(res_down + down, caps_down)
+        assert np.allclose(res_up + up, caps_up)
+        assert np.allclose(res_slots + slots, caps_slots)
+
+
+class TestMarkovPostconditions:
+    @given(st.integers(0, 1000), st.sampled_from([4.0, 16.0, 64.0]))
+    @settings(max_examples=10, deadline=None)
+    def test_trajectory_stays_feasible(self, seed, beta):
+        """Every state along any trajectory satisfies the constraints
+        (unconstrained capacities -> structural + delay feasibility)."""
+        from tests.conftest import build_pair_conference
+
+        conf = build_pair_conference("720p", "360p", "360p", "480p")
+        evaluator = ObjectiveEvaluator(
+            conf, ObjectiveWeights.normalized_for(conf)
+        )
+        solver = MarkovAssignmentSolver(
+            evaluator,
+            nearest_assignment(conf),
+            config=MarkovConfig(beta=beta),
+            rng=np.random.default_rng(seed),
+        )
+        for _ in range(25):
+            solver.session_hop(0)
+            assert is_feasible(conf, solver.assignment)

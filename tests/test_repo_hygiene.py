@@ -1,0 +1,86 @@
+"""Repository-hygiene tests: docs exist, stay consistent with the code,
+and the public API re-exports resolve."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDocs:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+
+    @pytest.fixture(scope="class")
+    def experiments(self):
+        return (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+
+    def test_design_confirms_paper(self, design):
+        assert "Hajiesmaili" in design
+        assert "ICDCS" in design
+
+    def test_design_indexes_every_artifact(self, design):
+        for artifact in ("F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "T2"):
+            assert f"| {artifact} " in design, f"missing experiment row {artifact}"
+
+    def test_design_lists_every_bench_target(self, design):
+        bench_dir = REPO_ROOT / "benchmarks"
+        for bench in sorted(bench_dir.glob("bench_*.py")):
+            if bench.name in ("bench_core_perf.py",):
+                continue  # perf micro-benches are not paper artifacts
+            assert bench.name in design, f"{bench.name} not referenced in DESIGN.md"
+
+    def test_experiments_records_every_figure(self, experiments):
+        for heading in (
+            "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6",
+            "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10", "Table II",
+        ):
+            assert heading in experiments, f"missing record for {heading}"
+
+    def test_readme_mentions_examples(self, readme):
+        examples = REPO_ROOT / "examples"
+        for script in sorted(examples.glob("*.py")):
+            assert script.name in readme, f"{script.name} not documented in README"
+
+    def test_license_present(self):
+        assert (REPO_ROOT / "LICENSE").read_text(encoding="utf-8").startswith(
+            "MIT License"
+        )
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core as core
+        import repro.model as model
+        import repro.netsim as netsim
+        import repro.runtime as runtime
+        import repro.workloads as workloads
+
+        for module in (core, model, netsim, runtime, workloads):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+class TestExamplesImportable:
+    def test_examples_compile(self):
+        import py_compile
+
+        for script in sorted((REPO_ROOT / "examples").glob("*.py")):
+            py_compile.compile(str(script), doraise=True)

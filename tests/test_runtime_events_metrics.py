@@ -1,0 +1,114 @@
+"""Tests for repro.runtime.events and repro.runtime.metrics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.events import EventQueue
+from repro.runtime.metrics import TimeSeriesRecorder
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.schedule(3.0, "c")
+        queue.schedule(1.0, "a")
+        queue.schedule(2.0, "b")
+        kinds = [queue.pop()[1].kind for _ in range(3)]
+        assert kinds == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "first")
+        queue.schedule(1.0, "second")
+        assert queue.pop()[1].kind == "first"
+        assert queue.pop()[1].kind == "second"
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, "dead")
+        queue.schedule(2.0, "alive")
+        handle.cancel()
+        time_s, event = queue.pop()
+        assert event.kind == "alive"
+        assert time_s == 2.0
+
+    def test_reschedule_moves_event(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, "wake", payload=7)
+        queue.schedule(2.0, "sample")
+        queue.reschedule(handle, 3.0)
+        kinds = [queue.pop()[1].kind for _ in range(2)]
+        assert kinds == ["sample", "wake"]
+
+    def test_now_advances(self):
+        queue = EventQueue()
+        queue.schedule(5.0, "x")
+        assert queue.now == 0.0
+        queue.pop()
+        assert queue.now == 5.0
+
+    def test_cannot_schedule_in_past(self):
+        queue = EventQueue()
+        queue.schedule(5.0, "x")
+        queue.pop()
+        with pytest.raises(SimulationError):
+            queue.schedule(4.0, "y")
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, "a")
+        queue.schedule(2.0, "b")
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        handle = queue.schedule(2.0, "a")
+        queue.schedule(5.0, "b")
+        assert queue.peek_time() == 2.0
+        handle.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_drained_queue_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestTimeSeriesRecorder:
+    def test_round_trip(self):
+        recorder = TimeSeriesRecorder()
+        recorder.record("traffic", 0.0, 10.0)
+        recorder.record("traffic", 1.0, 12.0)
+        times, values = recorder.series("traffic")
+        assert list(times) == [0.0, 1.0]
+        assert list(values) == [10.0, 12.0]
+
+    def test_unknown_series_raises(self):
+        with pytest.raises(SimulationError):
+            TimeSeriesRecorder().series("nope")
+
+    def test_non_monotonic_time_rejected(self):
+        recorder = TimeSeriesRecorder()
+        recorder.record("x", 5.0, 1.0)
+        with pytest.raises(SimulationError):
+            recorder.record("x", 4.0, 2.0)
+
+    def test_last_and_mean_after(self):
+        recorder = TimeSeriesRecorder()
+        for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]:
+            recorder.record("x", t, v)
+        assert recorder.last("x") == 5.0
+        assert recorder.mean_after("x", 1.0) == 4.0
+
+    def test_mean_after_past_end_raises(self):
+        recorder = TimeSeriesRecorder()
+        recorder.record("x", 0.0, 1.0)
+        with pytest.raises(SimulationError):
+            recorder.mean_after("x", 10.0)
+
+    def test_names_and_contains(self):
+        recorder = TimeSeriesRecorder()
+        recorder.record("b", 0.0, 0.0)
+        recorder.record("a", 0.0, 0.0)
+        assert recorder.names == ("a", "b")
+        assert "a" in recorder and "c" not in recorder

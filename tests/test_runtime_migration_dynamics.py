@@ -1,0 +1,108 @@
+"""Tests for repro.runtime.migration and repro.runtime.dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.neighborhood import Move
+from repro.errors import ModelError, SimulationError
+from repro.runtime.dynamics import DynamicsSchedule, SessionArrival, SessionDeparture
+from repro.runtime.migration import MigrationModel
+from tests.conftest import build_pair_conference
+
+
+class TestMigrationModel:
+    @pytest.fixture()
+    def conf(self):
+        return build_pair_conference("720p", "360p", "360p", "480p")
+
+    def test_paper_overhead_value(self, conf):
+        """The paper: ~13.2 kb of dual-feed overhead for a 240p stream at
+        a <=30 ms overlap.  240p = 0.4 Mbps -> 0.4 * 1000 * 0.030 = 12 kb
+        (the paper's 13.2 corresponds to its slightly higher 240p rate)."""
+        model = MigrationModel(overlap_ms=30.0)
+        # Build a user with a 240p upstream.
+        conf240 = build_pair_conference("240p", "360p", "360p", "480p")
+        assignment = Assignment(np.array([0, 1]), np.full(conf240.theta_sum, 0))
+        move = Move("user", 0, 0, 1)
+        record = model.price(conf240, assignment, move, sid=0, time_s=1.0)
+        assert record.overhead_kb == pytest.approx(12.0)
+        assert not record.interrupted
+
+    def test_user_move_priced_by_upstream(self, conf):
+        model = MigrationModel(overlap_ms=30.0)
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        record = model.price(conf, assignment, Move("user", 0, 0, 1), 0, 0.0)
+        # u0 upstream 720p = 5 Mbps -> 150 kb.
+        assert record.overhead_kb == pytest.approx(150.0)
+        assert record.kind == "user"
+
+    def test_task_move_priced_by_output(self, conf):
+        model = MigrationModel(overlap_ms=30.0)
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        record = model.price(conf, assignment, Move("task", 0, 0, 1), 0, 0.0)
+        # Output rep 480p = 2.5 Mbps -> 75 kb.
+        assert record.overhead_kb == pytest.approx(75.0)
+
+    def test_instant_teardown_interrupts(self, conf):
+        model = MigrationModel(dual_feed=False)
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        record = model.price(conf, assignment, Move("user", 0, 0, 1), 0, 0.0)
+        assert record.overhead_kb == 0.0
+        assert record.interrupted
+
+    def test_negative_overlap_rejected(self):
+        with pytest.raises(ModelError):
+            MigrationModel(overlap_ms=-1.0)
+
+
+class TestDynamicsSchedule:
+    def test_static(self):
+        schedule = DynamicsSchedule.static([0, 1, 2])
+        assert schedule.initial_sids == (0, 1, 2)
+        assert schedule.events == ()
+
+    def test_fig5_layout(self):
+        schedule = DynamicsSchedule.fig5(
+            initial_sids=range(6), arriving_sids=range(6, 10), departing_sids=[1, 3, 5]
+        )
+        arrivals = [e for e in schedule.events if isinstance(e, SessionArrival)]
+        departures = [e for e in schedule.events if isinstance(e, SessionDeparture)]
+        assert {a.sid for a in arrivals} == {6, 7, 8, 9}
+        assert all(a.time_s == 40.0 for a in arrivals)
+        assert {d.sid for d in departures} == {1, 3, 5}
+        assert all(d.time_s == 80.0 for d in departures)
+
+    def test_events_sorted_by_time(self):
+        schedule = DynamicsSchedule(
+            initial_sids=(0,),
+            events=(
+                SessionDeparture(50.0, 1),
+                SessionArrival(10.0, 1),
+            ),
+        )
+        assert [type(e).__name__ for e in schedule.events] == [
+            "SessionArrival",
+            "SessionDeparture",
+        ]
+
+    def test_double_arrival_rejected(self):
+        with pytest.raises(SimulationError):
+            DynamicsSchedule(
+                initial_sids=(0,),
+                events=(SessionArrival(1.0, 1), SessionArrival(2.0, 1)),
+            )
+
+    def test_departure_of_inactive_rejected(self):
+        with pytest.raises(SimulationError):
+            DynamicsSchedule(initial_sids=(0,), events=(SessionDeparture(1.0, 5),))
+
+    def test_duplicate_initial_rejected(self):
+        with pytest.raises(SimulationError):
+            DynamicsSchedule(initial_sids=(0, 0))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            DynamicsSchedule(
+                initial_sids=(0,), events=(SessionArrival(-1.0, 1),)
+            )

@@ -1,0 +1,148 @@
+"""Protocol-level tests of the runtime: FREEZE semantics, sampling grid,
+migration accounting, and hop-interval statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.markov import MarkovConfig
+from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.runtime.dynamics import DynamicsSchedule
+from repro.runtime.simulation import ConferencingSimulator, SimulationConfig
+from repro.workloads.prototype import prototype_conference
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    conference = prototype_conference(seed=5, num_sessions=5)
+    return ObjectiveEvaluator(
+        conference, ObjectiveWeights.normalized_for(conference)
+    )
+
+
+class TestFreezeSemantics:
+    def test_freeze_count_matches_migrations(self, evaluator):
+        config = SimulationConfig(
+            duration_s=60.0,
+            hop_interval_mean_s=5.0,
+            freeze_duration_s=0.1,
+            markov=MarkovConfig(beta=32.0),
+            seed=1,
+        )
+        result = ConferencingSimulator(
+            evaluator,
+            DynamicsSchedule.static(range(5)),
+            config,
+        ).run()
+        assert result.freezes == len(result.migrations)
+
+    def test_zero_freeze_duration_skips_handshake(self, evaluator):
+        config = SimulationConfig(
+            duration_s=30.0,
+            hop_interval_mean_s=5.0,
+            freeze_duration_s=0.0,
+            markov=MarkovConfig(beta=32.0),
+            seed=1,
+        )
+        result = ConferencingSimulator(
+            evaluator,
+            DynamicsSchedule.static(range(5)),
+            config,
+        ).run()
+        assert result.freezes == 0
+        assert len(result.migrations) > 0
+
+    def test_large_freeze_reduces_hop_throughput(self, evaluator):
+        """Freezing everyone for 2 s per migration must reduce the number
+        of wakes that fit into the horizon."""
+
+        def hops_with_freeze(duration: float) -> int:
+            config = SimulationConfig(
+                duration_s=40.0,
+                hop_interval_mean_s=4.0,
+                freeze_duration_s=duration,
+                markov=MarkovConfig(beta=32.0),
+                seed=2,
+            )
+            return ConferencingSimulator(
+                evaluator,
+                DynamicsSchedule.static(range(5)),
+                config,
+            ).run().hops
+
+        assert hops_with_freeze(2.0) < hops_with_freeze(0.0)
+
+
+class TestHopStatistics:
+    def test_mean_hop_interval_close_to_config(self, evaluator):
+        """Each session wakes roughly every hop_interval_mean_s seconds."""
+        mean_s = 5.0
+        config = SimulationConfig(
+            duration_s=400.0,
+            sample_interval_s=50.0,
+            hop_interval_mean_s=mean_s,
+            freeze_duration_s=0.0,
+            markov=MarkovConfig(beta=32.0),
+            seed=3,
+        )
+        result = ConferencingSimulator(
+            evaluator,
+            DynamicsSchedule.static(range(5)),
+            config,
+        ).run()
+        expected = 5 * 400.0 / mean_s  # sessions * duration / mean
+        assert expected * 0.75 <= result.hops <= expected * 1.25
+
+
+class TestMigrationAccounting:
+    def test_overhead_sums_records(self, evaluator):
+        config = SimulationConfig(
+            duration_s=40.0,
+            hop_interval_mean_s=4.0,
+            markov=MarkovConfig(beta=32.0),
+            seed=4,
+        )
+        result = ConferencingSimulator(
+            evaluator,
+            DynamicsSchedule.static(range(5)),
+            config,
+        ).run()
+        assert result.total_overhead_kb == pytest.approx(
+            sum(r.overhead_kb for r in result.migrations)
+        )
+        # Every record belongs to an active session and has a description.
+        for record in result.migrations:
+            assert 0 <= record.sid < 5
+            assert record.description
+            assert record.kind in ("user", "task")
+
+    def test_migration_times_ordered(self, evaluator):
+        config = SimulationConfig(
+            duration_s=40.0,
+            hop_interval_mean_s=4.0,
+            markov=MarkovConfig(beta=32.0),
+            seed=4,
+        )
+        result = ConferencingSimulator(
+            evaluator,
+            DynamicsSchedule.static(range(5)),
+            config,
+        ).run()
+        times = [r.time_s for r in result.migrations]
+        assert times == sorted(times)
+
+
+class TestSamplingGrid:
+    def test_samples_equally_spaced(self, evaluator):
+        config = SimulationConfig(
+            duration_s=20.0,
+            sample_interval_s=2.5,
+            markov=MarkovConfig(beta=32.0),
+            seed=5,
+        )
+        result = ConferencingSimulator(
+            evaluator,
+            DynamicsSchedule.static(range(5)),
+            config,
+        ).run()
+        times, _ = result.series("traffic")
+        assert np.allclose(np.diff(times), 2.5)

@@ -1,0 +1,179 @@
+"""Tests for the workload generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.representation import PAPER_LADDER
+from repro.workloads.demand import DemandModel
+from repro.workloads.motivating import motivating_conference
+from repro.workloads.prototype import (
+    PROTOTYPE_AGENT_SPEEDS,
+    PROTOTYPE_REGIONS,
+    prototype_conference,
+)
+from repro.workloads.scenarios import ScenarioParams, scenario_conference
+from repro.workloads.toy import FIG3_NUM_STATES, toy_conference
+
+
+class TestDemandModel:
+    def test_preferred_share_statistics(self):
+        model = DemandModel(PAPER_LADDER)
+        rng = np.random.default_rng(0)
+        draws = [model.sample_downstream(rng).name for _ in range(2000)]
+        share = draws.count("720p") / len(draws)
+        assert 0.75 < share < 0.85  # the paper's 80 %
+
+    def test_non_preferred_spread_over_others(self):
+        model = DemandModel(PAPER_LADDER)
+        rng = np.random.default_rng(1)
+        draws = {model.sample_downstream(rng).name for _ in range(500)}
+        assert draws == {"360p", "480p", "720p", "1080p"}
+
+    def test_upstream_uniform_support(self):
+        model = DemandModel(PAPER_LADDER)
+        rng = np.random.default_rng(2)
+        draws = {model.sample_upstream(rng).name for _ in range(200)}
+        assert draws == {"360p", "480p", "720p", "1080p"}
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            DemandModel(PAPER_LADDER, preferred_share=1.5)
+        with pytest.raises(ModelError):
+            DemandModel(PAPER_LADDER, preferred="4k")
+
+
+class TestPrototype:
+    def test_paper_shape(self, proto_conf):
+        assert proto_conf.num_sessions == 10
+        assert proto_conf.num_agents == 6
+        sizes = [len(s) for s in proto_conf.sessions]
+        assert all(3 <= size <= 5 for size in sizes)
+
+    def test_agent_names_are_regions(self, proto_conf):
+        assert {a.name for a in proto_conf.agents} == set(PROTOTYPE_REGIONS)
+
+    def test_transcoding_latencies_in_envelope(self, proto_conf):
+        """Sec. V-A: transcoding latencies in [30, 60] ms depending on
+        capability (checked on the ladder's common transcode)."""
+        high = proto_conf.representations["720p"]
+        low = proto_conf.representations["480p"]
+        for agent in proto_conf.agents:
+            assert 25.0 <= agent.transcoding_latency_ms(high, low) <= 60.0
+
+    def test_deterministic(self):
+        a = prototype_conference(seed=4)
+        b = prototype_conference(seed=4)
+        assert np.array_equal(
+            a.topology.inter_agent_ms, b.topology.inter_agent_ms
+        )
+        assert [u.upstream.name for u in a.users] == [
+            u.upstream.name for u in b.users
+        ]
+
+    def test_seed_changes_workload(self):
+        a = prototype_conference(seed=4)
+        b = prototype_conference(seed=5)
+        assert [len(s) for s in a.sessions] != [len(s) for s in b.sessions] or [
+            u.upstream.name for u in a.users
+        ] != [u.upstream.name for u in b.users]
+
+    def test_speed_spread_matches_regions(self):
+        assert len(PROTOTYPE_AGENT_SPEEDS) == len(PROTOTYPE_REGIONS)
+
+    def test_invalid_params(self):
+        with pytest.raises(ModelError):
+            prototype_conference(num_sessions=0)
+        with pytest.raises(ModelError):
+            prototype_conference(session_sizes=(5, 3))
+
+
+class TestScenario:
+    def test_paper_shape(self):
+        conf = scenario_conference(seed=1)
+        assert conf.num_users == 200
+        assert conf.num_agents == 7
+        assert all(2 <= len(s) <= 5 for s in conf.sessions)
+
+    def test_deterministic(self):
+        a = scenario_conference(seed=2)
+        b = scenario_conference(seed=2)
+        assert [u.site for u in a.users] == [u.site for u in b.users]
+        assert np.array_equal(a.topology.agent_user_ms, b.topology.agent_user_ms)
+
+    def test_latency_substrate_shared_across_scenarios(self):
+        """Different scenario seeds share the same inter-agent matrix (one
+        measurement campaign, many user draws — like the paper)."""
+        a = scenario_conference(seed=1)
+        b = scenario_conference(seed=2)
+        assert np.array_equal(a.topology.inter_agent_ms, b.topology.inter_agent_ms)
+
+    def test_capacity_draws_in_band(self):
+        params = ScenarioParams(mean_bandwidth_mbps=800.0, mean_transcode_slots=40)
+        conf = scenario_conference(seed=3, params=params)
+        for agent in conf.agents:
+            assert 0.75 * 800 <= agent.download_mbps <= 1.25 * 800
+            assert 0.75 * 40 - 1 <= agent.transcode_slots <= 1.25 * 40 + 1
+
+    def test_unlimited_by_default(self):
+        conf = scenario_conference(seed=4)
+        assert all(math.isinf(a.download_mbps) for a in conf.agents)
+        assert all(math.isinf(a.transcode_slots) for a in conf.agents)
+
+    def test_locality_clusters_sessions(self):
+        local = scenario_conference(
+            seed=5, params=ScenarioParams(session_locality=1.0)
+        )
+        # Every session's members share one continent under locality 1.
+        site_by_name = {}
+        from repro.netsim.sites import sample_user_sites
+
+        sites = sample_user_sites(256, np.random.default_rng(12345))
+        continents = {s.name: s.continent for s in sites}
+        for session in local.sessions:
+            session_continents = {
+                continents[local.user(u).site] for u in session.user_ids
+            }
+            assert len(session_continents) == 1
+
+    def test_sizes_partition_num_users(self):
+        conf = scenario_conference(seed=6)
+        assert sum(len(s) for s in conf.sessions) == 200
+
+    def test_param_validation(self):
+        with pytest.raises(ModelError):
+            ScenarioParams(num_users=1)
+        with pytest.raises(ModelError):
+            ScenarioParams(min_session_size=6, max_session_size=5)
+        with pytest.raises(ModelError):
+            ScenarioParams(session_locality=2.0)
+
+
+class TestFixedInstances:
+    def test_motivating_claims_hold(self):
+        conf = motivating_conference()
+        d = conf.topology.inter_agent_ms
+        names = {a.name: a.aid for a in conf.agents}
+        to, sg, orr, sp = names["TO"], names["SG"], names["OR"], names["SP"]
+        # TO is closer than SG to each other agent (the paper's argument).
+        assert d[to, orr] < d[sg, orr]
+        assert d[to, sp] < d[sg, sp]
+        # User 4 is nearer to SG than to TO (nearest policy picks SG).
+        h = conf.topology.agent_user_ms
+        assert h[sg, 3] < h[to, 3]
+        # SG transcodes faster (it is the powerful agent).
+        high, low = conf.representations["720p"], conf.representations["480p"]
+        assert conf.agent(sg).transcoding_latency_ms(high, low) < conf.agent(
+            to
+        ).transcoding_latency_ms(high, low)
+
+    def test_toy_has_eight_states(self, toy_conf):
+        from repro.core.exact import enumerate_assignments
+
+        assert len(list(enumerate_assignments(toy_conf))) == FIG3_NUM_STATES
+
+    def test_toy_single_task(self, toy_conf):
+        assert toy_conf.theta_sum == 1
+        assert toy_conf.transcode_pairs == ((0, 1),)
