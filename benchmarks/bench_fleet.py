@@ -1,0 +1,98 @@
+"""Bench: fleet orchestrator throughput — serial vs pooled execution.
+
+Runs an 8-unit sweep matrix (2 betas x 2 hop intervals x 2 seeds) of a
+tiny prototype conference through the fleet orchestrator, serially and
+on a 2-process pool, and reports end-to-end runs/sec.  A third target
+measures the skip/resume cache: re-running an unchanged spec must do no
+solver work at all.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.orchestrator import FleetOrchestrator, expand_matrix
+from repro.fleet.spec import (
+    AxisSpec,
+    RunSpec,
+    SimulationSpec,
+    SweepSpec,
+    WorkloadSpec,
+)
+
+
+def _sweep_spec(seed: int) -> RunSpec:
+    return RunSpec(
+        name="bench-fleet",
+        workload=WorkloadSpec(kind="prototype", num_sessions=2),
+        simulation=SimulationSpec(
+            duration_s=6.0, hop_interval_mean_s=3.0, seed=seed
+        ),
+        sweep=SweepSpec(
+            replicates=2,
+            axes=(
+                AxisSpec(path="solver.beta", values=(200, 400)),
+                AxisSpec(path="simulation.hop_interval_mean_s", values=(3, 6)),
+            ),
+        ),
+    )
+
+
+def _check(result, expected_runs: int) -> None:
+    assert len(result.records) == expected_runs
+    assert result.failed == 0
+
+
+def test_fleet_serial_throughput(benchmark, tmp_path, prototype_seed):
+    spec = _sweep_spec(prototype_seed)
+    expected = len(expand_matrix(spec))
+
+    counter = iter(range(1_000_000))
+
+    def run():
+        out = tmp_path / f"serial-{next(counter)}"
+        return FleetOrchestrator(out, workers=1).run(spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _check(result, expected)
+    assert result.executed == expected
+    runs_per_sec = expected / benchmark.stats.stats.mean
+    benchmark.extra_info["runs"] = expected
+    benchmark.extra_info["runs_per_sec"] = runs_per_sec
+    print(f"\n  serial: {expected} runs, {runs_per_sec:.2f} runs/sec")
+
+
+def test_fleet_pooled_throughput(benchmark, tmp_path, prototype_seed):
+    spec = _sweep_spec(prototype_seed)
+    expected = len(expand_matrix(spec))
+
+    counter = iter(range(1_000_000))
+
+    def run():
+        out = tmp_path / f"pooled-{next(counter)}"
+        return FleetOrchestrator(out, workers=2).run(spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _check(result, expected)
+    runs_per_sec = expected / benchmark.stats.stats.mean
+    benchmark.extra_info["runs"] = expected
+    benchmark.extra_info["workers"] = 2
+    benchmark.extra_info["runs_per_sec"] = runs_per_sec
+    print(f"\n  pooled(2): {expected} runs, {runs_per_sec:.2f} runs/sec")
+
+
+def test_fleet_cache_skip(benchmark, tmp_path, prototype_seed):
+    """Re-running an unchanged spec is pure cache: zero executions."""
+    spec = _sweep_spec(prototype_seed)
+    out = tmp_path / "cached"
+    warm = FleetOrchestrator(out, workers=1).run(spec)
+    _check(warm, len(expand_matrix(spec)))
+
+    result = benchmark.pedantic(
+        lambda: FleetOrchestrator(out, workers=1).run(spec),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.executed == 0
+    assert result.skipped == len(warm.records)
+    benchmark.extra_info["cached_runs"] = result.skipped
+    # A cache hit must be orders of magnitude faster than solving.
+    assert benchmark.stats.stats.mean < 1.0

@@ -60,6 +60,7 @@ from repro.errors import (
     ReproError,
     SimulationError,
     SolverError,
+    SpecError,
     UnknownEntityError,
 )
 from repro.model import (
@@ -108,6 +109,7 @@ __all__ = [
     "SessionCost",
     "SimulationError",
     "SolverError",
+    "SpecError",
     "Topology",
     "TotalCost",
     "UnknownEntityError",

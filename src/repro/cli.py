@@ -1,4 +1,4 @@
-"""Command-line interface: ``repro list`` / ``repro run <experiment>``.
+"""Command-line interface: paper experiments and the fleet orchestrator.
 
 Examples::
 
@@ -6,6 +6,12 @@ Examples::
     repro run fig4
     repro run table2 --scenarios 100
     repro run fig7 --csv out/fig7.csv
+
+    repro fleet list
+    repro fleet run prototype_smoke --workers 2
+    repro fleet run my_spec.yaml --out runs/my_spec
+    repro fleet sweep beta_locality --axis solver.beta=200,400 --replicates 3
+    repro fleet report fleet_runs/prototype_smoke
 """
 
 from __future__ import annotations
@@ -13,10 +19,12 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import Sequence
 
+from repro.errors import SpecError
 from repro.experiments.common import SCENARIOS_ENV
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.registry import experiment_ids, get_experiment, list_experiments
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -32,7 +40,7 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list registered experiments")
 
     run = subparsers.add_parser("run", help="run one experiment")
-    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("experiment", choices=experiment_ids())
     run.add_argument(
         "--scenarios",
         type=int,
@@ -48,6 +56,71 @@ def _build_parser() -> argparse.ArgumentParser:
         default="",
         help="also write raw series rows to this CSV file (figures only)",
     )
+
+    fleet = subparsers.add_parser(
+        "fleet", help="declarative scenario specs + parallel orchestration"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_sub.add_parser("list", help="list bundled library specs")
+
+    def add_exec_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "spec", help="path to a YAML/JSON spec, or a library spec name"
+        )
+        sub.add_argument(
+            "--out",
+            default="",
+            help="output directory (default fleet_runs/<spec name>)",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="worker processes (<= 1 runs serially in-process)",
+        )
+        sub.add_argument(
+            "--no-resume",
+            action="store_true",
+            help="ignore cached results and re-execute every run",
+        )
+        sub.add_argument(
+            "--set",
+            dest="overrides",
+            action="append",
+            default=[],
+            metavar="PATH=VALUE",
+            help="override a scalar spec field, e.g. solver.beta=200",
+        )
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="execute a spec's run matrix end to end"
+    )
+    add_exec_args(fleet_run)
+
+    fleet_sweep = fleet_sub.add_parser(
+        "sweep", help="run a spec with sweep axes given on the command line"
+    )
+    add_exec_args(fleet_sweep)
+    fleet_sweep.add_argument(
+        "--axis",
+        dest="axes",
+        action="append",
+        default=[],
+        metavar="PATH=V1,V2,...",
+        help="sweep axis, e.g. --axis solver.beta=200,400 (repeatable)",
+    )
+    fleet_sweep.add_argument(
+        "--replicates",
+        type=int,
+        default=None,
+        help="seed replicates per grid point",
+    )
+
+    fleet_report = fleet_sub.add_parser(
+        "report", help="re-aggregate a finished fleet run directory"
+    )
+    fleet_report.add_argument("out_dir", help="directory holding results.jsonl")
     return parser
 
 
@@ -63,15 +136,143 @@ def _collect_csv_rows(result: object) -> list[str]:
     return rows
 
 
+def _parse_scalar(raw: str) -> object:
+    """CLI value -> scalar, with the same coercion a YAML spec gets, so
+    ``--set solver.beta=200`` and ``beta: 200`` in a file resolve (and
+    content-hash) identically."""
+    import yaml
+
+    try:
+        value = yaml.safe_load(raw)
+    except yaml.YAMLError:
+        return raw
+    return raw if isinstance(value, (dict, list)) or value is None else value
+
+
+def _split_assignment(raw: str, flag: str) -> tuple[str, str]:
+    if "=" not in raw:
+        raise SpecError(f"{flag} expects PATH=VALUE, got {raw!r}")
+    path, _, value = raw.partition("=")
+    if not path or not value:
+        raise SpecError(f"{flag} expects PATH=VALUE, got {raw!r}")
+    return path, value
+
+
+def _resolve_spec(reference: str):
+    from repro.fleet import load_library_spec, load_spec
+    from repro.fleet.library import library_spec_names
+
+    candidate = Path(reference)
+    if candidate.suffix.lower() in (".yaml", ".yml", ".json"):
+        return load_spec(candidate)
+    # Bare names prefer the library, so a stray local file or output
+    # directory that happens to share a spec's name cannot shadow it.
+    if reference in library_spec_names():
+        return load_library_spec(reference)
+    if candidate.is_file():
+        return load_spec(candidate)
+    raise SpecError(
+        f"{reference!r} is neither a spec file nor a library spec; "
+        f"library specs: {list(library_spec_names())}"
+    )
+
+
+def _run_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetOrchestrator
+
+    spec = _resolve_spec(args.spec)
+
+    from repro.fleet.spec import apply_override
+
+    overrides: dict[str, object] = {}
+    for raw in args.overrides:
+        path, value = _split_assignment(raw, "--set")
+        overrides[path] = _parse_scalar(value)
+    axes = getattr(args, "axes", None)
+    replicates = getattr(args, "replicates", None)
+    if overrides or axes or replicates is not None:
+        data = spec.to_dict()
+        if axes:
+            data["sweep"]["axes"] = [
+                {
+                    "path": path,
+                    "values": [_parse_scalar(v) for v in values.split(",")],
+                }
+                for path, values in (
+                    _split_assignment(raw, "--axis") for raw in axes
+                )
+            ]
+        if replicates is not None:
+            data["sweep"]["replicates"] = replicates
+        for path, value in overrides.items():
+            apply_override(data, path, value)
+        spec = type(spec).from_dict(data)
+
+    out_dir = args.out or str(Path("fleet_runs") / spec.name)
+    orchestrator = FleetOrchestrator(
+        out_dir, workers=args.workers, resume=not args.no_resume
+    )
+    result = orchestrator.run(spec)
+    print(result.format_report())
+    return 1 if result.failed else 0
+
+
+def _report_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet.orchestrator import aggregate_records, load_records
+
+    records = load_records(args.out_dir)
+    ok = sum(1 for record in records if record.get("status") == "ok")
+    print(f"{len(records)} runs recorded ({ok} ok, {len(records) - ok} failed)")
+    print()
+    print(aggregate_records(records))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (repro list | head).
+        # Detach stdout so the interpreter's shutdown flush stays quiet,
+        # then exit like a well-behaved unix tool.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(argv: Sequence[str] | None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":
-        width = max(len(eid) for eid in EXPERIMENTS)
-        for eid in sorted(EXPERIMENTS):
-            print(f"{eid:<{width}}  {EXPERIMENTS[eid].description}")
+        specs = list_experiments()
+        width = max(len(spec.experiment_id) for spec in specs)
+        for spec in specs:
+            print(f"{spec.experiment_id:<{width}}  {spec.description}")
         return 0
+
+    if args.command == "fleet":
+        try:
+            if args.fleet_command == "list":
+                from repro.fleet import load_library_spec
+                from repro.fleet.library import library_spec_names
+
+                names = library_spec_names()
+                if not names:
+                    print("(no library specs found)")
+                    return 0
+                width = max(len(name) for name in names)
+                for name in names:
+                    spec = load_library_spec(name)
+                    summary = " ".join(spec.description.split())
+                    print(f"{name:<{width}}  {summary}")
+                return 0
+            if args.fleet_command == "report":
+                return _report_fleet(args)
+            return _run_fleet(args)
+        except SpecError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     spec = get_experiment(args.experiment)
     kwargs = {}

@@ -51,3 +51,8 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner received invalid parameters."""
+
+
+class SpecError(ReproError):
+    """A declarative fleet scenario spec is malformed or references
+    unknown entities (regions, sites, solvers, experiments)."""

@@ -90,6 +90,21 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
 }
 
 
+def experiment_ids() -> tuple[str, ...]:
+    """Sorted ids of every registered experiment.
+
+    The single source of truth for artifact names: the CLI builds its
+    ``run`` choices and ``list`` output from this, and the fleet spec
+    layer validates ``artifact`` references against it.
+    """
+    return tuple(sorted(EXPERIMENTS))
+
+
+def list_experiments() -> tuple[ExperimentSpec, ...]:
+    """All registered experiments in id order (programmatic listing)."""
+    return tuple(EXPERIMENTS[eid] for eid in experiment_ids())
+
+
 def get_experiment(experiment_id: str) -> ExperimentSpec:
     """Look up a registered experiment."""
     spec = EXPERIMENTS.get(experiment_id)

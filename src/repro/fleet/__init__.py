@@ -1,0 +1,73 @@
+"""Declarative scenario specs and the parallel fleet orchestrator.
+
+The fleet layer turns the hand-coded experiment scripts into data: a
+:class:`~repro.fleet.spec.RunSpec` is a typed, validation-first
+description of a full run (agent topology / pricing regions, workload and
+session mix, solver choice, noise model, churn plan, simulation horizon,
+seeds) that loads from YAML/JSON and round-trips losslessly.  The
+compiler (:mod:`repro.fleet.compile`) resolves a spec into concrete
+``Conference`` / solver / simulator objects — failing fast on dangling
+references before any solve starts — and the orchestrator
+(:mod:`repro.fleet.orchestrator`) expands parameter sweeps into a run
+matrix, executes it across a ``multiprocessing`` worker pool with
+per-run JSONL persistence and content-hash skip/resume caching, and
+aggregates summary tables.
+
+Bundled example specs live in :mod:`repro.fleet.library`::
+
+    repro fleet list
+    repro fleet run prototype_smoke --workers 2
+    repro fleet sweep beta_locality --axis solver.beta=200,400
+    repro fleet report fleet_runs/prototype_smoke
+"""
+
+from repro.fleet.compile import CompiledRun, compile_spec, execute_spec
+from repro.fleet.library import library_spec_names, load_library_spec
+from repro.fleet.orchestrator import (
+    FleetOrchestrator,
+    FleetResult,
+    RunUnit,
+    aggregate_records,
+    expand_matrix,
+)
+from repro.fleet.spec import (
+    AxisSpec,
+    ChurnSpec,
+    ChurnWave,
+    DemandSpec,
+    NoiseSpec,
+    RunSpec,
+    SimulationSpec,
+    SolverSpec,
+    SweepSpec,
+    TopologySpec,
+    WorkloadSpec,
+    load_spec,
+    spec_hash,
+)
+
+__all__ = [
+    "AxisSpec",
+    "ChurnSpec",
+    "ChurnWave",
+    "CompiledRun",
+    "DemandSpec",
+    "FleetOrchestrator",
+    "FleetResult",
+    "NoiseSpec",
+    "RunSpec",
+    "RunUnit",
+    "SimulationSpec",
+    "SolverSpec",
+    "SweepSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "aggregate_records",
+    "compile_spec",
+    "execute_spec",
+    "expand_matrix",
+    "library_spec_names",
+    "load_library_spec",
+    "load_spec",
+    "spec_hash",
+]

@@ -1,0 +1,200 @@
+"""Spec -> concrete objects: resolve a :class:`RunSpec` into a ready run.
+
+The compiler is the bridge between the declarative layer and the existing
+engine: it reuses :mod:`repro.workloads` to build the conference,
+:mod:`repro.netsim` for the noise model, :mod:`repro.core` for the solver
+configuration and :mod:`repro.runtime` for the simulator — and it fails
+fast (:class:`~repro.errors.SpecError`) on anything dangling (unknown
+regions, infeasible churn plans, capacity envelopes on workloads that do
+not model them) *before* any solve starts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.agrank import AgRankConfig
+from repro.core.markov import MarkovConfig
+from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.errors import ReproError, SpecError
+from repro.experiments.common import effective_beta
+from repro.fleet.spec import RunSpec
+from repro.model.conference import Conference
+from repro.model.representation import PAPER_LADDER
+from repro.netsim.noise import GaussianNoise, NoiseModel, QuantizedPerturbation
+from repro.runtime.dynamics import DynamicsSchedule
+from repro.runtime.simulation import (
+    ConferencingSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.workloads.demand import DemandModel
+from repro.workloads.prototype import prototype_conference
+from repro.workloads.scenarios import ScenarioParams, scenario_conference
+
+
+@dataclass
+class CompiledRun:
+    """Everything the runtime needs, resolved from one spec."""
+
+    spec: RunSpec
+    conference: Conference
+    evaluator: ObjectiveEvaluator
+    schedule: DynamicsSchedule
+    config: SimulationConfig
+    noise: NoiseModel | None
+
+    def simulator(self) -> ConferencingSimulator:
+        return ConferencingSimulator(
+            self.evaluator, self.schedule, self.config, noise=self.noise
+        )
+
+
+def _demand_model(spec: RunSpec) -> DemandModel:
+    demand = spec.workload.demand
+    return DemandModel(
+        PAPER_LADDER,
+        preferred=demand.preferred,
+        preferred_share=demand.preferred_share,
+        downgrade_only=demand.downgrade_only,
+    )
+
+
+def _build_conference(spec: RunSpec) -> Conference:
+    workload = spec.workload
+    topology = spec.topology
+    demand = _demand_model(spec)
+    try:
+        if workload.kind == "prototype":
+            return prototype_conference(
+                seed=spec.simulation.seed,
+                num_sessions=workload.num_sessions,
+                session_sizes=(workload.min_session_size, workload.max_session_size),
+                demand=demand,
+                regions_override=topology.regions or None,
+                locations_override=topology.user_sites or None,
+                latency_seed=topology.latency_seed,
+            )
+        kwargs: dict = {
+            "num_user_sites": topology.num_user_sites,
+            "num_users": workload.num_users,
+            "min_session_size": workload.min_session_size,
+            "max_session_size": workload.max_session_size,
+            "mean_bandwidth_mbps": workload.mean_bandwidth_mbps,
+            "mean_transcode_slots": workload.mean_transcode_slots,
+            "latency_seed": topology.latency_seed,
+            "session_locality": workload.session_locality,
+        }
+        if topology.regions:
+            kwargs["regions"] = topology.regions
+        return scenario_conference(
+            spec.simulation.seed, ScenarioParams(**kwargs), demand
+        )
+    except ReproError as error:
+        raise SpecError(f"spec {spec.name!r} does not compile: {error}") from error
+
+
+def _noise_model(spec: RunSpec) -> NoiseModel | None:
+    noise = spec.noise
+    if noise.kind == "none":
+        return None
+    if noise.kind == "gaussian":
+        if noise.sigma == 0:
+            return None
+        return GaussianNoise(sigma=noise.sigma)
+    if noise.delta == 0:
+        return None
+    return QuantizedPerturbation(delta=noise.delta, levels=noise.levels)
+
+
+def _schedule(spec: RunSpec, num_sessions: int) -> DynamicsSchedule:
+    churn = spec.churn
+    if churn.initial == 0 and not churn.waves:
+        return DynamicsSchedule.static(range(num_sessions))
+    try:
+        return DynamicsSchedule.churn(
+            num_sessions,
+            churn.initial,
+            [(wave.time_s, wave.arrive, wave.depart) for wave in churn.waves],
+        )
+    except ReproError as error:
+        raise SpecError(
+            f"spec {spec.name!r}: churn plan infeasible for "
+            f"{num_sessions} sessions: {error}"
+        ) from error
+
+
+def compile_spec(spec: RunSpec) -> CompiledRun:
+    """Resolve one (sweep-free) spec into concrete engine objects."""
+    if spec.sweep.axes or spec.sweep.replicates > 1:
+        raise SpecError(
+            f"spec {spec.name!r} declares a sweep; expand it with "
+            "repro.fleet.orchestrator.expand_matrix() first"
+        )
+    conference = _build_conference(spec)
+    schedule = _schedule(spec, conference.num_sessions)
+    solver = spec.solver
+    weights = ObjectiveWeights.normalized_for(
+        conference,
+        alpha1=solver.alpha1,
+        alpha2=solver.alpha2,
+        alpha3=solver.alpha3,
+    )
+    evaluator = ObjectiveEvaluator(conference, weights)
+    try:
+        config = SimulationConfig(
+            duration_s=spec.simulation.duration_s,
+            sample_interval_s=spec.simulation.sample_interval_s,
+            hop_interval_mean_s=spec.simulation.hop_interval_mean_s,
+            freeze_duration_s=spec.simulation.freeze_duration_s,
+            markov=MarkovConfig(
+                beta=effective_beta(solver.beta), hop_rule=solver.hop_rule
+            ),
+            initial_policy=solver.policy,
+            agrank=AgRankConfig(n_ngbr=solver.n_ngbr)
+            if solver.policy == "agrank"
+            else None,
+            seed=spec.simulation.seed,
+        )
+    except ReproError as error:
+        raise SpecError(f"spec {spec.name!r} does not compile: {error}") from error
+    return CompiledRun(
+        spec=spec,
+        conference=conference,
+        evaluator=evaluator,
+        schedule=schedule,
+        config=config,
+        noise=_noise_model(spec),
+    )
+
+
+def execute_spec(spec: RunSpec) -> dict:
+    """Compile + simulate one spec and return a flat metrics record.
+
+    The record is JSON-safe (plain floats/ints/strings) so the
+    orchestrator can persist it as one JSONL line.
+    """
+    compiled = compile_spec(spec)
+    simulation: SimulationResult = compiled.simulator().run()
+    conference = compiled.conference
+    record: dict = {
+        "name": spec.name,
+        "seed": spec.simulation.seed,
+        "num_agents": conference.num_agents,
+        "num_users": conference.num_users,
+        "num_sessions": conference.num_sessions,
+        "traffic0_mbps": simulation.initial_value("traffic"),
+        "traffic_mbps": simulation.steady_state_mean("traffic"),
+        "delay0_ms": simulation.initial_value("delay"),
+        "delay_ms": simulation.steady_state_mean("delay"),
+        "phi": simulation.final_value("phi"),
+        "hops": simulation.hops,
+        "migrations": len(simulation.migrations),
+        "freezes": simulation.freezes,
+        "overhead_kb": simulation.total_overhead_kb,
+    }
+    return {
+        key: (float(value) if isinstance(value, float) else value)
+        for key, value in record.items()
+    }

@@ -1,0 +1,45 @@
+"""Bundled example specs spanning the scenario space.
+
+* ``prototype_smoke`` — the Sec. V-A prototype, shrunk for a fast
+  end-to-end check of the whole fleet pipeline;
+* ``huge_conference`` — an Internet-scale draw well beyond the paper's
+  200 users;
+* ``multi_region_pricing`` — agents across 9 regions with heterogeneous
+  egress prices and finite capacity envelopes;
+* ``churn_heavy`` — waves of session arrivals/departures stressing the
+  bootstrap + release path;
+* ``noise_sweep`` — Alg. 1 under increasing measurement noise
+  (Theorem 1 territory), seed-replicated;
+* ``beta_locality`` — a 2-axis grid (beta x session locality) with seed
+  replication, the canonical sweep shape.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import SpecError
+from repro.fleet.spec import RunSpec, load_spec
+
+_LIBRARY_DIR = Path(__file__).resolve().parent
+
+
+def library_dir() -> Path:
+    """Directory holding the bundled ``*.yaml`` specs."""
+    return _LIBRARY_DIR
+
+
+def library_spec_names() -> tuple[str, ...]:
+    """Names (file stems) of every bundled spec, sorted."""
+    return tuple(sorted(path.stem for path in _LIBRARY_DIR.glob("*.yaml")))
+
+
+def load_library_spec(name: str) -> RunSpec:
+    """Load a bundled spec by name."""
+    path = _LIBRARY_DIR / f"{name}.yaml"
+    if not path.exists():
+        raise SpecError(
+            f"unknown library spec {name!r}; available: "
+            f"{list(library_spec_names())}"
+        )
+    return load_spec(path)

@@ -1,0 +1,306 @@
+"""Run-matrix expansion, parallel execution, persistence, aggregation.
+
+``expand_matrix`` turns one spec with a sweep block into a list of
+:class:`RunUnit` — the grid product of the sweep axes times seed
+replication — each carrying a fully resolved (sweep-free) spec and a
+content-hash run id.  :class:`FleetOrchestrator` executes the matrix
+across a ``multiprocessing`` worker pool (or serially for ``workers <=
+1``), appends each finished run as one JSONL line, skips run ids already
+present on disk (resume caching), and renders aggregate summary tables
+through :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import render_table
+from repro.errors import SpecError
+from repro.fleet.compile import execute_spec
+from repro.fleet.spec import RunSpec, spec_hash
+
+#: Metrics aggregated across seed replicates in the summary table.
+SUMMARY_METRICS: tuple[str, ...] = ("traffic_mbps", "delay_ms", "phi")
+
+RESULTS_FILENAME = "results.jsonl"
+SUMMARY_FILENAME = "summary.txt"
+SPEC_FILENAME = "spec.yaml"
+
+
+@dataclass(frozen=True)
+class RunUnit:
+    """One concrete run of the matrix: resolved spec + identity."""
+
+    run_id: str
+    spec: RunSpec
+    #: The sweep-axis values this unit pins (empty for sweep-free specs).
+    axes: dict[str, object] = field(default_factory=dict)
+    seed: int = 0
+
+
+def expand_matrix(spec: RunSpec) -> list[RunUnit]:
+    """Expand a spec's sweep block into the full run matrix.
+
+    The grid is the cartesian product of the axes (in declaration order)
+    and each grid point is replicated ``sweep.replicates`` times with
+    seeds ``simulation.seed + i``.  Unit specs are sweep-free and carry a
+    deterministic content-hash id, so re-expanding an unchanged spec
+    reproduces the same ids (the skip/resume cache key).
+    """
+    sweep = spec.sweep
+    axis_paths = [axis.path for axis in sweep.axes]
+    axis_values = [axis.values for axis in sweep.axes]
+    base_seed = spec.simulation.seed
+    units: list[RunUnit] = []
+    for combo in itertools.product(*axis_values) if axis_paths else [()]:
+        axes = dict(zip(axis_paths, combo))
+        for replicate in range(sweep.replicates):
+            overrides: dict[str, object] = dict(axes)
+            overrides["simulation.seed"] = base_seed + replicate
+            resolved = spec.with_overrides(overrides)
+            units.append(
+                RunUnit(
+                    run_id=spec_hash(resolved),
+                    spec=resolved,
+                    axes=axes,
+                    seed=base_seed + replicate,
+                )
+            )
+    return units
+
+
+def _execute_payload(payload: tuple[str, dict, dict, int]) -> dict:
+    """Worker entry point (top-level so it pickles for the pool)."""
+    run_id, spec_dict, axes, seed = payload
+    started = time.perf_counter()
+    try:
+        record = execute_spec(RunSpec.from_dict(spec_dict))
+        record["status"] = "ok"
+    except Exception as error:  # noqa: BLE001 - one bad unit must not sink the fleet
+        record = {"status": "error", "error": f"{type(error).__name__}: {error}"}
+    record["run_id"] = run_id
+    record["axes"] = axes
+    record["seed"] = seed
+    record["wall_time_s"] = time.perf_counter() - started
+    return record
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one orchestrated fleet run."""
+
+    spec: RunSpec
+    records: list[dict]
+    executed: int
+    skipped: int
+    failed: int
+    out_dir: Path
+
+    @property
+    def results_path(self) -> Path:
+        return self.out_dir / RESULTS_FILENAME
+
+    def summary_table(self) -> str:
+        return aggregate_records(
+            self.records, title=f"fleet {self.spec.name!r} summary"
+        )
+
+    def format_report(self) -> str:
+        lines = [
+            f"fleet {self.spec.name!r}: {len(self.records)} runs "
+            f"({self.executed} executed, {self.skipped} cached, "
+            f"{self.failed} failed)",
+            f"results: {self.results_path}",
+            "",
+            self.summary_table(),
+        ]
+        return "\n".join(lines)
+
+
+class FleetOrchestrator:
+    """Executes a spec's run matrix with caching and a worker pool."""
+
+    def __init__(
+        self,
+        out_dir: str | Path,
+        workers: int = 1,
+        resume: bool = True,
+    ) -> None:
+        if workers < 0:
+            raise SpecError(f"workers must be >= 0, got {workers}")
+        self._out_dir = Path(out_dir)
+        self._workers = workers
+        self._resume = resume
+
+    # ------------------------------------------------------------------ #
+    # Persistence                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _load_cache(self) -> dict[str, dict]:
+        path = self._out_dir / RESULTS_FILENAME
+        if not self._resume or not path.exists():
+            return {}
+        cached: dict[str, dict] = {}
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from an interrupted run; re-execute
+            if record.get("status") == "ok" and "run_id" in record:
+                cached[record["run_id"]] = record
+        return cached
+
+    def _rewrite_results(self, records: list[dict]) -> None:
+        path = self._out_dir / RESULTS_FILENAME
+        with path.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, pending: list[RunUnit]) -> list[dict]:
+        """Run pending units, appending each finished record to the JSONL
+        file as it completes — an interrupted fleet keeps its progress and
+        the next invocation resumes from the cache."""
+        payloads = [
+            (unit.run_id, unit.spec.to_dict(), unit.axes, unit.seed)
+            for unit in pending
+        ]
+        records: list[dict] = []
+        with (self._out_dir / RESULTS_FILENAME).open(
+            "a", encoding="utf-8"
+        ) as handle:
+
+            def collect(record: dict) -> None:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                records.append(record)
+
+            if self._workers <= 1 or len(payloads) <= 1:
+                for payload in payloads:
+                    collect(_execute_payload(payload))
+            else:
+                workers = min(self._workers, len(payloads))
+                with multiprocessing.Pool(processes=workers) as pool:
+                    for record in pool.imap_unordered(
+                        _execute_payload, payloads
+                    ):
+                        collect(record)
+        return records
+
+    def run(self, spec: RunSpec) -> FleetResult:
+        """Expand, execute (skipping cached run ids), persist, aggregate."""
+        units = expand_matrix(spec)
+        self._out_dir.mkdir(parents=True, exist_ok=True)
+        (self._out_dir / SPEC_FILENAME).write_text(
+            spec.to_yaml(), encoding="utf-8"
+        )
+        cache = self._load_cache()
+        if not self._resume:
+            (self._out_dir / RESULTS_FILENAME).unlink(missing_ok=True)
+        pending = [unit for unit in units if unit.run_id not in cache]
+        fresh = {record["run_id"]: record for record in self._execute(pending)}
+
+        records: list[dict] = []
+        failed = 0
+        for unit in units:
+            record = cache.get(unit.run_id) or fresh[unit.run_id]
+            # Re-stamp sweep labels: a cached record may have been produced
+            # under different (or no) axis labels for the same resolved spec.
+            record = {**record, "axes": unit.axes, "seed": unit.seed}
+            if record.get("status") != "ok":
+                failed += 1
+            records.append(record)
+        self._rewrite_results(records)
+        result = FleetResult(
+            spec=spec,
+            records=records,
+            executed=len(pending),
+            skipped=len(units) - len(pending),
+            failed=failed,
+            out_dir=self._out_dir,
+        )
+        (self._out_dir / SUMMARY_FILENAME).write_text(
+            result.summary_table() + "\n", encoding="utf-8"
+        )
+        return result
+
+
+def load_records(out_dir: str | Path) -> list[dict]:
+    """Read back the per-run JSONL records of a finished fleet run."""
+    path = Path(out_dir) / RESULTS_FILENAME
+    if not path.exists():
+        raise SpecError(f"no fleet results at {path}")
+    records = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # torn trailing line from an interrupted run
+    return records
+
+
+def aggregate_records(
+    records: list[dict],
+    metrics: tuple[str, ...] = SUMMARY_METRICS,
+    title: str = "fleet summary",
+) -> str:
+    """Aggregate per-run records into an ASCII table.
+
+    Runs are grouped by their sweep-axis values; seed replicates within a
+    group are summarized as ``mean ± std`` via
+    :func:`repro.analysis.stats.summarize`.
+    """
+    ok = [record for record in records if record.get("status") == "ok"]
+    if not ok:
+        return f"{title}\n(no successful runs)"
+    axis_paths: list[str] = []
+    for record in ok:
+        for path in record.get("axes", {}):
+            if path not in axis_paths:
+                axis_paths.append(path)
+
+    groups: dict[tuple, list[dict]] = {}
+    for record in ok:
+        key = tuple(record.get("axes", {}).get(path) for path in axis_paths)
+        groups.setdefault(key, []).append(record)
+
+    def order(value: object) -> tuple:
+        # Numeric axis values sort numerically (200, 400, 1000), the
+        # rest lexicographically after them.
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return (0, float(value), "")
+        return (1, 0.0, str(value))
+
+    headers = axis_paths + ["runs"] + list(metrics)
+    rows = []
+    for key in sorted(groups, key=lambda k: tuple(order(v) for v in k)):
+        group = groups[key]
+        row: list[object] = [
+            "" if value is None else value for value in key
+        ]
+        row.append(len(group))
+        for metric in metrics:
+            values = [
+                record[metric] for record in group if metric in record
+            ]
+            if not values:
+                row.append("-")
+                continue
+            stats = summarize(values)
+            row.append(f"{stats['mean']:.2f} ± {stats['std']:.2f}")
+        rows.append(row)
+    return render_table(headers, rows, precision=3, title=title)

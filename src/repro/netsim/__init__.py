@@ -26,7 +26,14 @@ from repro.netsim.latency import LatencyModel, LatencySample
 from repro.netsim.measurement import MeasurementErrorModel, measured_conference
 from repro.netsim.noise import GaussianNoise, NoiseModel, NoNoise, QuantizedPerturbation
 from repro.netsim.pricing import RegionPricing, dollar_cost_functions, egress_cost_per_hour
-from repro.netsim.sites import CLOUD_REGIONS, USER_SITES, CloudRegion, UserSite
+from repro.netsim.sites import (
+    CLOUD_REGIONS,
+    USER_SITES,
+    CloudRegion,
+    UserSite,
+    known_region_names,
+    known_site_names,
+)
 
 __all__ = [
     "CLOUD_REGIONS",
@@ -45,5 +52,7 @@ __all__ = [
     "dollar_cost_functions",
     "egress_cost_per_hour",
     "great_circle_km",
+    "known_region_names",
+    "known_site_names",
     "measured_conference",
 ]

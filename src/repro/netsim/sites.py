@@ -121,6 +121,16 @@ _REGION_BY_NAME = {r.name: r for r in CLOUD_REGIONS}
 _REGION_BY_CODE = {r.code: r for r in CLOUD_REGIONS}
 
 
+def known_region_names() -> tuple[str, ...]:
+    """Display names of every cloud region in the catalog (sorted)."""
+    return tuple(sorted(_REGION_BY_NAME))
+
+
+def known_site_names() -> tuple[str, ...]:
+    """Names of every base-catalog user site (sorted)."""
+    return tuple(sorted(site.name for site in USER_SITES))
+
+
 def region(name_or_code: str) -> CloudRegion:
     """Look up a cloud region by display name or region code."""
     found = _REGION_BY_NAME.get(name_or_code) or _REGION_BY_CODE.get(name_or_code)

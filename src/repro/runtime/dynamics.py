@@ -63,6 +63,48 @@ class DynamicsSchedule:
         return cls(initial_sids=tuple(sids))
 
     @classmethod
+    def churn(
+        cls,
+        num_sessions: int,
+        initial: int,
+        waves: Sequence[tuple[float, int, int]],
+    ) -> "DynamicsSchedule":
+        """General churn plan: ``initial`` sessions start at t=0 and timed
+        ``(time_s, arrivals, departures)`` waves mutate the active set.
+
+        Arrivals draw fresh session ids from the reserve pool
+        ``[initial, num_sessions)`` in order; departures retire the
+        longest-running active session (FIFO), never emptying the
+        conference.  Used by the fleet compiler's churn specs.
+        """
+        if not 1 <= initial <= num_sessions:
+            raise SimulationError(
+                f"initial must be in [1, {num_sessions}], got {initial}"
+            )
+        pending = list(range(initial, num_sessions))
+        active = list(range(initial))
+        events: list[SessionArrival | SessionDeparture] = []
+        for time_s, arrivals, departures in sorted(waves, key=lambda w: w[0]):
+            if arrivals < 0 or departures < 0:
+                raise SimulationError("wave arrivals/departures must be >= 0")
+            for _ in range(arrivals):
+                if not pending:
+                    raise SimulationError(
+                        f"churn plan needs more than {num_sessions} sessions "
+                        "to serve all arrivals"
+                    )
+                sid = pending.pop(0)
+                events.append(SessionArrival(time_s, sid))
+                active.append(sid)
+            for _ in range(departures):
+                if len(active) <= 1:
+                    raise SimulationError(
+                        "churn plan would depart the last active session"
+                    )
+                events.append(SessionDeparture(time_s, active.pop(0)))
+        return cls(initial_sids=tuple(range(initial)), events=tuple(events))
+
+    @classmethod
     def fig5(
         cls,
         initial_sids: Sequence[int],

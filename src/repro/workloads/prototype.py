@@ -54,13 +54,19 @@ def prototype_conference(
     num_sessions: int = 10,
     session_sizes: tuple[int, int] = (3, 5),
     demand: DemandModel | None = None,
+    regions_override: tuple[str, ...] | None = None,
+    locations_override: tuple[str, ...] | None = None,
+    latency_seed: int | None = None,
 ) -> Conference:
     """Build the prototype conference deterministically from ``seed``.
 
     Users are placed at the 10 prototype locations round-robin (several
     users share a metro, like the paper's multiple clients per site), and
     grouped into ``num_sessions`` sessions with sizes uniform in
-    ``session_sizes``.
+    ``session_sizes``.  ``regions_override`` / ``locations_override``
+    swap the paper's agent regions / user metros for other catalog
+    entries (the fleet spec layer uses this for multi-region variants);
+    ``latency_seed`` decouples the RTT substrate from the workload draw.
     """
     if num_sessions < 1:
         raise ModelError("need at least one session")
@@ -70,6 +76,8 @@ def prototype_conference(
 
     rng = np.random.default_rng(seed)
     demand = demand if demand is not None else DemandModel(PAPER_LADDER)
+    region_names = regions_override if regions_override else PROTOTYPE_REGIONS
+    locations = locations_override if locations_override else PROTOTYPE_USER_LOCATIONS
 
     sizes = [int(rng.integers(low, high + 1)) for _ in range(num_sessions)]
     num_users = sum(sizes)
@@ -77,12 +85,20 @@ def prototype_conference(
     catalog = {site.name: site for site in USER_SITES}
     user_sites: list[UserSite] = []
     for i in range(num_users):
-        name = PROTOTYPE_USER_LOCATIONS[i % len(PROTOTYPE_USER_LOCATIONS)]
+        name = locations[i % len(locations)]
+        if name not in catalog:
+            raise ModelError(
+                f"unknown user site {name!r}; known: {sorted(catalog)}"
+            )
         user_sites.append(catalog[name])
 
     builder = ConferenceBuilder(PAPER_LADDER)
-    regions = [region(name) for name in PROTOTYPE_REGIONS]
-    for reg, speed in zip(regions, PROTOTYPE_AGENT_SPEEDS):
+    regions = [region(name) for name in region_names]
+    speeds = [
+        PROTOTYPE_AGENT_SPEEDS[i % len(PROTOTYPE_AGENT_SPEEDS)]
+        for i in range(len(regions))
+    ]
+    for reg, speed in zip(regions, speeds):
         builder.add_agent(
             name=reg.name,
             region=reg.code,
@@ -106,7 +122,7 @@ def prototype_conference(
             uid += 1
         builder.add_session(*member_ids, name=f"session-{sid}")
 
-    latency = LatencyModel(seed=seed)
+    latency = LatencyModel(seed=seed if latency_seed is None else latency_seed)
     inter_agent = latency.inter_agent_matrix(regions)
     agent_user = latency.agent_user_matrix(regions, user_sites)
     return builder.build(inter_agent_ms=inter_agent, agent_user_ms=agent_user)

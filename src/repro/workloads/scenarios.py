@@ -59,6 +59,9 @@ class ScenarioParams:
     #: default is calibrated so the AgRank-vs-Nrst initial-traffic gap
     #: matches Table II (see EXPERIMENTS.md).
     session_locality: float = 0.85
+    #: Cloud regions hosting the agents; defaults to the paper's 7 EC2
+    #: regions.  Every name must resolve in the region catalog.
+    regions: tuple[str, ...] = SCENARIO_REGIONS
 
     def __post_init__(self) -> None:
         if self.num_users < self.min_session_size:
@@ -72,6 +75,10 @@ class ScenarioParams:
             raise ModelError("capacity means must be positive")
         if not 0.0 <= self.session_locality <= 1.0:
             raise ModelError("session_locality must be in [0, 1]")
+        if not self.regions:
+            raise ModelError("at least one agent region is required")
+        for name in self.regions:
+            region(name)  # raises ModelError on unknown regions
 
 
 def _session_sizes(params: ScenarioParams, rng: np.random.Generator) -> list[int]:
@@ -122,7 +129,7 @@ def scenario_conference(
 
     site_rng = np.random.default_rng(params.latency_seed)
     sites = sample_user_sites(params.num_user_sites, site_rng)
-    regions = [region(name) for name in SCENARIO_REGIONS]
+    regions = [region(name) for name in params.regions]
     sizes = _session_sizes(params, rng)
 
     by_continent: dict[str, list[int]] = {}

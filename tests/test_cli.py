@@ -3,7 +3,11 @@
 import pytest
 
 from repro.cli import main
-from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    list_experiments,
+)
 
 
 class TestList:
@@ -50,3 +54,168 @@ class TestRun:
         assert main(["run", "fig2", "--csv", str(target)]) == 0
         out = capsys.readouterr().out
         assert "no series data" in out
+
+
+class TestRegistryListing:
+    def test_experiment_ids_sorted_and_complete(self):
+        assert experiment_ids() == tuple(sorted(EXPERIMENTS))
+
+    def test_list_experiments_matches_ids(self):
+        specs = list_experiments()
+        assert tuple(spec.experiment_id for spec in specs) == experiment_ids()
+
+
+class TestFleet:
+    SPEC_YAML = """\
+name: cli-spec
+workload:
+  kind: prototype
+  num_sessions: 2
+simulation:
+  duration_s: 8
+  hop_interval_mean_s: 4
+  seed: 3
+"""
+
+    def test_fleet_list_names_library(self, capsys):
+        from repro.fleet.library import library_spec_names
+
+        assert main(["fleet", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in library_spec_names():
+            assert name in out
+
+    def test_fleet_run_spec_file(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.yaml"
+        spec_path.write_text(self.SPEC_YAML)
+        out_dir = tmp_path / "out"
+        assert (
+            main(["fleet", "run", str(spec_path), "--out", str(out_dir)]) == 0
+        )
+        assert (out_dir / "results.jsonl").exists()
+        assert (out_dir / "summary.txt").exists()
+        report = capsys.readouterr().out
+        assert "1 executed, 0 cached" in report
+
+        # Unchanged spec: cached.
+        assert (
+            main(["fleet", "run", str(spec_path), "--out", str(out_dir)]) == 0
+        )
+        assert "0 executed, 1 cached" in capsys.readouterr().out
+
+    def test_fleet_run_library_name_with_overrides(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "run",
+                    "prototype_smoke",
+                    "--out",
+                    str(out_dir),
+                    "--set",
+                    "simulation.duration_s=8",
+                    "--set",
+                    "workload.num_sessions=2",
+                ]
+            )
+            == 0
+        )
+        assert (out_dir / "results.jsonl").exists()
+
+    def test_fleet_sweep_and_report(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.yaml"
+        spec_path.write_text(self.SPEC_YAML)
+        out_dir = tmp_path / "out"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "sweep",
+                    str(spec_path),
+                    "--out",
+                    str(out_dir),
+                    "--axis",
+                    "solver.beta=200,400",
+                    "--replicates",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4 runs" in out and "solver.beta" in out
+
+        assert main(["fleet", "report", str(out_dir)]) == 0
+        report = capsys.readouterr().out
+        assert "4 runs recorded (4 ok" in report
+
+    def test_fleet_unknown_spec_errors(self, tmp_path, capsys):
+        assert main(["fleet", "run", "no_such_spec"]) == 2
+        assert "library specs" in capsys.readouterr().err
+
+    def test_fleet_bad_override_errors(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.yaml"
+        spec_path.write_text(self.SPEC_YAML)
+        assert (
+            main(
+                [
+                    "fleet",
+                    "run",
+                    str(spec_path),
+                    "--out",
+                    str(tmp_path / "out"),
+                    "--set",
+                    "solver.nope=1",
+                ]
+            )
+            == 2
+        )
+        assert "no such field" in capsys.readouterr().err
+
+    def test_fleet_zero_replicates_rejected(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.yaml"
+        spec_path.write_text(self.SPEC_YAML)
+        assert (
+            main(
+                [
+                    "fleet",
+                    "sweep",
+                    str(spec_path),
+                    "--out",
+                    str(tmp_path / "out"),
+                    "--axis",
+                    "solver.beta=200,400",
+                    "--replicates",
+                    "0",
+                ]
+            )
+            == 2
+        )
+        assert "replicates must be >= 1" in capsys.readouterr().err
+
+    def test_fleet_run_directory_rejected(self, tmp_path, capsys):
+        assert main(["fleet", "run", str(tmp_path)]) == 2
+        assert "neither a spec file nor a library spec" in capsys.readouterr().err
+
+    def test_fleet_local_file_cannot_shadow_library_name(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "prototype_smoke").mkdir()  # stray dir with a spec's name
+        out_dir = tmp_path / "out"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "run",
+                    "prototype_smoke",
+                    "--out",
+                    str(out_dir),
+                    "--set",
+                    "simulation.duration_s=8",
+                    "--set",
+                    "workload.num_sessions=2",
+                ]
+            )
+            == 0
+        )
+        assert (out_dir / "results.jsonl").exists()

@@ -1,0 +1,173 @@
+"""Tests for the fleet compiler: spec -> concrete engine objects."""
+
+import math
+
+import pytest
+
+from repro.core.agrank import AgRankConfig
+from repro.errors import SpecError
+from repro.experiments.common import effective_beta
+from repro.fleet.compile import compile_spec, execute_spec
+from repro.fleet.library import library_spec_names, load_library_spec
+from repro.fleet.orchestrator import expand_matrix
+from repro.fleet.spec import (
+    ChurnSpec,
+    ChurnWave,
+    NoiseSpec,
+    RunSpec,
+    SimulationSpec,
+    SolverSpec,
+    SweepSpec,
+    AxisSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.netsim.noise import GaussianNoise, QuantizedPerturbation
+
+FAST_SIM = SimulationSpec(duration_s=10.0, hop_interval_mean_s=5.0, seed=3)
+
+
+def small_prototype(**kwargs) -> RunSpec:
+    defaults = dict(
+        name="t",
+        workload=WorkloadSpec(kind="prototype", num_sessions=3),
+        simulation=FAST_SIM,
+    )
+    defaults.update(kwargs)
+    return RunSpec(**defaults)
+
+
+class TestCompile:
+    def test_prototype_compiles(self):
+        compiled = compile_spec(small_prototype())
+        assert compiled.conference.num_agents == 6
+        assert compiled.conference.num_sessions == 3
+        assert compiled.config.markov.beta == effective_beta(400.0)
+        assert compiled.noise is None
+
+    def test_scenario_compiles_with_custom_regions(self):
+        spec = RunSpec(
+            name="t",
+            workload=WorkloadSpec(kind="scenario", num_users=20),
+            topology=TopologySpec(
+                regions=("Virginia", "Sydney"), num_user_sites=16
+            ),
+            simulation=FAST_SIM,
+        )
+        compiled = compile_spec(spec)
+        assert compiled.conference.num_agents == 2
+        names = {agent.name for agent in compiled.conference.agents}
+        assert names == {"Virginia", "Sydney"}
+
+    def test_scenario_capacity_envelopes_applied(self):
+        spec = RunSpec(
+            name="t",
+            workload=WorkloadSpec(
+                kind="scenario",
+                num_users=20,
+                mean_bandwidth_mbps=800.0,
+                mean_transcode_slots=40.0,
+            ),
+            topology=TopologySpec(num_user_sites=16),
+            simulation=FAST_SIM,
+        )
+        compiled = compile_spec(spec)
+        for agent in compiled.conference.agents:
+            assert not math.isinf(agent.upload_mbps)
+            assert not math.isinf(agent.transcode_slots)
+
+    def test_agrank_policy_builds_config(self):
+        compiled = compile_spec(
+            small_prototype(solver=SolverSpec(policy="agrank", n_ngbr=3))
+        )
+        assert compiled.config.initial_policy == "agrank"
+        assert compiled.config.agrank == AgRankConfig(n_ngbr=3)
+
+    def test_noise_models_resolve(self):
+        gauss = compile_spec(
+            small_prototype(noise=NoiseSpec(kind="gaussian", sigma=0.1))
+        )
+        assert isinstance(gauss.noise, GaussianNoise)
+        quant = compile_spec(
+            small_prototype(noise=NoiseSpec(kind="quantized", delta=0.2, levels=2))
+        )
+        assert isinstance(quant.noise, QuantizedPerturbation)
+        zero = compile_spec(
+            small_prototype(noise=NoiseSpec(kind="gaussian", sigma=0.0))
+        )
+        assert zero.noise is None
+
+    def test_churn_schedule_resolves(self):
+        spec = small_prototype(
+            workload=WorkloadSpec(kind="prototype", num_sessions=4),
+            churn=ChurnSpec(
+                initial=2,
+                waves=(ChurnWave(time_s=2.0, arrive=2, depart=1),),
+            ),
+        )
+        schedule = compile_spec(spec).schedule
+        assert schedule.initial_sids == (0, 1)
+        assert len(schedule.events) == 3
+
+    def test_infeasible_churn_fails_fast(self):
+        spec = small_prototype(
+            workload=WorkloadSpec(kind="prototype", num_sessions=2),
+            churn=ChurnSpec(
+                initial=1, waves=(ChurnWave(time_s=2.0, arrive=5),)
+            ),
+        )
+        with pytest.raises(SpecError, match="churn plan infeasible"):
+            compile_spec(spec)
+
+    def test_sweep_spec_must_be_expanded_first(self):
+        spec = small_prototype(
+            sweep=SweepSpec(axes=(AxisSpec(path="solver.beta", values=(200,)),))
+        )
+        with pytest.raises(SpecError, match="expand"):
+            compile_spec(spec)
+        resolved = expand_matrix(spec)
+        assert len(resolved) == 1
+        compile_spec(resolved[0].spec)  # expanded unit compiles
+
+
+class TestExecute:
+    def test_execute_returns_json_safe_record(self):
+        record = execute_spec(small_prototype())
+        assert record["num_sessions"] == 3
+        assert record["traffic_mbps"] >= 0.0
+        assert record["delay_ms"] > 0.0
+        assert all(
+            isinstance(value, (int, float, str)) for value in record.values()
+        )
+
+    def test_execute_deterministic_under_seed(self):
+        a = execute_spec(small_prototype())
+        b = execute_spec(small_prototype())
+        assert a == b
+
+
+class TestLibrary:
+    def test_library_has_six_specs(self):
+        assert len(library_spec_names()) >= 6
+
+    def test_every_library_spec_parses_and_expands(self):
+        for name in library_spec_names():
+            spec = load_library_spec(name)
+            assert spec.name == name
+            units = expand_matrix(spec)
+            assert units
+            assert len({unit.run_id for unit in units}) == len(units)
+
+    def test_unknown_library_spec_rejected(self):
+        with pytest.raises(SpecError, match="unknown library spec"):
+            load_library_spec("does_not_exist")
+
+    def test_artifact_references_resolve_via_registry(self):
+        from repro.experiments.registry import experiment_ids
+
+        referenced = [
+            load_library_spec(name).artifact for name in library_spec_names()
+        ]
+        assert any(referenced), "library should link some paper artifacts"
+        for artifact in filter(None, referenced):
+            assert artifact in experiment_ids()
