@@ -4,19 +4,23 @@ Runs an 8-unit sweep matrix (2 betas x 2 hop intervals x 2 seeds) of a
 tiny prototype conference through the fleet orchestrator, serially and
 on a 2-process pool, and reports end-to-end runs/sec.  A third target
 measures the skip/resume cache: re-running an unchanged spec must do no
-solver work at all.
+solver work at all; a fourth measures the shared-substrate cache: a
+solver-axis sweep synthesizes its latency matrices exactly once.
 """
 
 from __future__ import annotations
 
+from repro.fleet.compile import compile_spec, substrate_cache_info
 from repro.fleet.orchestrator import FleetOrchestrator, expand_matrix
 from repro.fleet.spec import (
     AxisSpec,
     RunSpec,
     SimulationSpec,
     SweepSpec,
+    TopologySpec,
     WorkloadSpec,
 )
+from repro.netsim.latency import clear_substrate_cache
 
 
 def _sweep_spec(seed: int) -> RunSpec:
@@ -96,3 +100,39 @@ def test_fleet_cache_skip(benchmark, tmp_path, prototype_seed):
     benchmark.extra_info["cached_runs"] = result.skipped
     # A cache hit must be orders of magnitude faster than solving.
     assert benchmark.stats.stats.mean < 1.0
+
+
+def test_fleet_substrate_cache_compile(benchmark):
+    """Compile a 4-point solver-axis sweep: one substrate synthesis.
+
+    The BENCH json captures warm-vs-cold compile time and the cache
+    counters — the ROADMAP "Shared-substrate caching" item made real.
+    """
+    spec = RunSpec(
+        name="bench-substrate",
+        workload=WorkloadSpec(kind="scenario", num_users=60),
+        topology=TopologySpec(num_user_sites=96, latency_seed=5),
+        simulation=SimulationSpec(
+            duration_s=6.0, hop_interval_mean_s=3.0, seed=4
+        ),
+        sweep=SweepSpec(
+            axes=(AxisSpec(path="solver.beta", values=(100, 200, 400, 800)),)
+        ),
+    )
+    units = expand_matrix(spec)
+
+    def compile_all():
+        clear_substrate_cache()
+        for unit in units:
+            compile_spec(unit.spec)
+        return substrate_cache_info()
+
+    info = benchmark.pedantic(compile_all, rounds=3, iterations=1)
+    assert info["builds"] == 1
+    assert info["hits"] == len(units) - 1
+    benchmark.extra_info["grid_points"] = len(units)
+    benchmark.extra_info["substrate_builds"] = info["builds"]
+    print(
+        f"\n  substrate cache: {len(units)} grid points, "
+        f"{info['builds']} synthesis, {info['hits']} hits"
+    )

@@ -1,0 +1,317 @@
+"""Batched (vectorized) candidate evaluation — the fast HOP kernel.
+
+Alg. 1 spends essentially all of its time inside ``session_hop``: every
+HOP evaluates ``O(|U(s)| * L)`` neighbouring assignments, and the
+reference path (:meth:`repro.core.search.SearchContext.evaluate_move`)
+pays per candidate for a full :class:`~repro.core.assignment.Assignment`
+copy, a Python walk over the session's streams and flows, and a handful
+of small-object allocations.  This module removes the per-candidate
+Python round trip: the *whole single-decision move set* of a session is
+materialized as flat numpy arrays (:class:`MoveBatch`) and evaluated in
+one array pass (:func:`evaluate_move_batch`) that produces per-candidate
+traffic vectors, transcode counts, flow delays and the delay-cap /
+capacity masks.
+
+Bit-for-bit equivalence contract
+--------------------------------
+
+The batched kernel is required to agree **bit-for-bit** with the
+reference path — same candidate enumeration order, same feasibility
+mask, same IEEE-754 ``phi`` values — so the two paths are freely
+interchangeable mid-trajectory (``tests/test_core_batched.py`` enforces
+this).  Three rules make that possible:
+
+* Additions into a per-agent slot happen in the same *phase order* as
+  the reference kernel (last-mile, per-group transcode traffic, raw
+  targets), and every add within a phase uses the same single scalar
+  value, so per-slot accumulation order inside a phase is immaterial.
+* Set-dedup semantics (``task_agents`` / ``dest_agents`` /
+  ``raw_targets`` in :meth:`ConferenceProfile.session_usage`) are
+  reproduced with first-occurrence masks over the candidate axis.
+* Reductions that the reference performs as sequential Python sums
+  (per-user worst-delay mean) are performed as explicit sequential
+  column adds, never ``np.sum``, whose pairwise algorithm could round
+  differently.
+
+The kernel is pure: it takes a profile, a base assignment and a move
+batch, and returns arrays.  Feasibility masking against a capacity
+ledger and ``phi`` assembly live with the caller (the search layer),
+which owns those inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.neighborhood import KIND_TASK, KIND_USER, Move
+from repro.errors import ModelError
+
+__all__ = [
+    "MoveBatch",
+    "BatchEvaluation",
+    "build_move_batch",
+    "evaluate_move_batch",
+    "capacity_mask",
+    "delay_mask",
+]
+
+
+@dataclass(frozen=True)
+class MoveBatch:
+    """The full single-decision move set of one session, as flat arrays.
+
+    Candidates appear in exactly the order :func:`session_moves` yields
+    them: users in session order then transcoding pairs, and for each
+    decision the ``L - 1`` alternative agents in ascending id order.
+    """
+
+    sid: int
+    #: ``KIND_USER`` (0) or ``KIND_TASK`` (1) per candidate.
+    kinds: np.ndarray
+    #: The moved decision: a uid for user moves, a pair index for tasks.
+    indices: np.ndarray
+    old_agents: np.ndarray
+    new_agents: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.kinds.shape[0])
+
+    def move(self, i: int) -> Move:
+        """Materialize candidate ``i`` as a :class:`Move` object."""
+        kind = "user" if self.kinds[i] == KIND_USER else "task"
+        return Move(
+            kind=kind,
+            index=int(self.indices[i]),
+            old_agent=int(self.old_agents[i]),
+            new_agent=int(self.new_agents[i]),
+        )
+
+
+@dataclass(frozen=True)
+class BatchEvaluation:
+    """Vectorized per-candidate session metrics (axis 0 = candidate).
+
+    The 2-D arrays are ``(C, L)``; rows are exactly what the reference
+    :class:`~repro.core.traffic.SessionUsage` holds for that candidate.
+    """
+
+    moves: MoveBatch
+    inter_in: np.ndarray
+    inter_out: np.ndarray
+    download: np.ndarray
+    upload: np.ndarray
+    transcodes: np.ndarray
+    #: ``F(d_s)`` — mean of per-user worst incoming delay, per candidate.
+    delay_cost_ms: np.ndarray
+    #: Max flow delay per candidate (feeds constraint (8)).
+    max_flow_ms: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return self.moves.size
+
+
+def build_move_batch(conference, assignment, sid: int) -> MoveBatch:
+    """Vectorized equivalent of listing :func:`session_moves`.
+
+    Uses the identity ``new_agent = k + (k >= current)`` for
+    ``k in [0, L-2]`` to enumerate "all agents except the current one,
+    ascending" without a Python loop over agents.
+    """
+    num_agents = conference.num_agents
+    session = conference.session(sid)
+    uids = np.asarray(session.user_ids, dtype=np.int64)
+    pairs = np.asarray(conference.session_pair_indices(sid), dtype=np.int64)
+
+    decision_indices = np.concatenate([uids, pairs])
+    decision_kinds = np.concatenate(
+        [
+            np.full(uids.shape[0], KIND_USER, dtype=np.uint8),
+            np.full(pairs.shape[0], KIND_TASK, dtype=np.uint8),
+        ]
+    )
+    current = np.concatenate(
+        [assignment.user_agent[uids], assignment.task_agent[pairs]]
+    )
+    if current.size and int(current.min()) < 0:
+        raise ModelError(f"session {sid} has unassigned decisions")
+
+    alternatives = num_agents - 1
+    k = np.arange(alternatives, dtype=np.int64)
+    new_agents = k[None, :] + (k[None, :] >= current[:, None])
+    return MoveBatch(
+        sid=sid,
+        kinds=np.repeat(decision_kinds, alternatives),
+        indices=np.repeat(decision_indices, alternatives),
+        old_agents=np.repeat(current, alternatives),
+        new_agents=new_agents.reshape(-1),
+    )
+
+
+def _agent_columns(
+    profile, assignment, moves: MoveBatch
+) -> tuple[dict[int, np.ndarray], dict[int, np.ndarray]]:
+    """Per-decision agent ids along the candidate axis.
+
+    ``user_cols[uid][c]`` is the agent user ``uid`` attaches to in
+    candidate ``c`` (the base assignment's value except inside the
+    contiguous block of candidates that move ``uid``), and likewise
+    ``task_cols[pair_index]``.  Decision-major move ordering makes every
+    such block one slice.
+    """
+    plan = profile.plan(moves.sid)
+    num_alternatives = profile.num_agents - 1
+    size = moves.size
+
+    user_cols: dict[int, np.ndarray] = {}
+    task_cols: dict[int, np.ndarray] = {}
+    block = 0
+    for uid in plan.users:
+        column = np.full(size, int(assignment.user_agent[uid]), dtype=np.int64)
+        start = block * num_alternatives
+        column[start : start + num_alternatives] = moves.new_agents[
+            start : start + num_alternatives
+        ]
+        user_cols[uid] = column
+        block += 1
+    for pair_index in plan.pair_indices:
+        column = np.full(
+            size, int(assignment.task_agent[pair_index]), dtype=np.int64
+        )
+        start = block * num_alternatives
+        column[start : start + num_alternatives] = moves.new_agents[
+            start : start + num_alternatives
+        ]
+        task_cols[pair_index] = column
+        block += 1
+    return user_cols, task_cols
+
+
+def _first_occurrence_masks(columns: list[np.ndarray], size: int) -> list[np.ndarray]:
+    """Per-column mask marking candidates where the column's value has not
+    appeared in any earlier column — the vectorized set-dedup."""
+    masks: list[np.ndarray] = []
+    for j, column in enumerate(columns):
+        mask = np.ones(size, dtype=bool)
+        for earlier in columns[:j]:
+            mask &= column != earlier
+        masks.append(mask)
+    return masks
+
+
+def evaluate_move_batch(profile, assignment, moves: MoveBatch) -> BatchEvaluation:
+    """Evaluate every candidate of ``moves`` in one array pass.
+
+    Mirrors :meth:`ConferenceProfile.session_usage` and
+    :meth:`ConferenceProfile.session_delays` candidate-by-candidate,
+    bit-for-bit (see the module docstring for the ordering argument).
+    """
+    plan = profile.plan(moves.sid)
+    num_agents = profile.num_agents
+    size = moves.size
+    rows = np.arange(size)
+    user_cols, task_cols = _agent_columns(profile, assignment, moves)
+
+    inter_in = np.zeros((size, num_agents))
+    inter_out = np.zeros((size, num_agents))
+    lastmile_down = np.zeros((size, num_agents))
+    lastmile_up = np.zeros((size, num_agents))
+    transcodes = np.zeros((size, num_agents), dtype=np.int64)
+
+    for stream in plan.streams:
+        a = user_cols[stream.source]
+        lastmile_down[rows, a] += stream.kappa_up
+        lastmile_up[rows, a] += profile.demand_out_mbps[stream.source]
+
+        # Symbols feeding the stream's raw-target set, in reference order:
+        # every group's task agents, then the raw-destination users.
+        raw_symbols: list[np.ndarray] = []
+        for kappa, pair_list, dests in stream.transcode_groups:
+            task_columns = [task_cols[i] for i in pair_list]
+            task_first = _first_occurrence_masks(task_columns, size)
+            for column, first in zip(task_columns, task_first):
+                hit = rows[first]
+                transcodes[hit, column[first]] += 1
+
+            dest_columns = [user_cols[v] for v in dests]
+            dest_first = _first_occurrence_masks(dest_columns, size)
+            for dest_column, dest_mask in zip(dest_columns, dest_first):
+                active_dest = dest_mask & (dest_column != a)
+                for task_column, task_mask in zip(task_columns, task_first):
+                    mask = active_dest & task_mask & (task_column != dest_column)
+                    hit = rows[mask]
+                    inter_out[hit, task_column[mask]] += kappa
+                    inter_in[hit, dest_column[mask]] += kappa
+            raw_symbols.extend(task_columns)
+        raw_symbols.extend(user_cols[v] for v in stream.raw_dest_users)
+
+        raw_first = _first_occurrence_masks(raw_symbols, size)
+        for symbol, first in zip(raw_symbols, raw_first):
+            mask = first & (symbol != a)
+            hit = rows[mask]
+            inter_out[hit, a[mask]] += stream.kappa_up
+            inter_in[hit, symbol[mask]] += stream.kappa_up
+
+    h = profile.h
+    d = profile.d
+    positions = {uid: i for i, uid in enumerate(plan.users)}
+    worst = np.zeros((size, len(plan.users)))
+    max_flow = np.zeros(size)
+    for source, destination, pair_index in plan.flows:
+        a = user_cols[source]
+        b = user_cols[destination]
+        delay = h[a, source] + h[b, destination]
+        if pair_index < 0:
+            delay = delay + d[a, b]
+        else:
+            m = task_cols[pair_index]
+            delay = delay + ((d[a, m] + d[m, b]) + profile.sigma[pair_index, m])
+        column = positions[destination]
+        np.maximum(worst[:, column], delay, out=worst[:, column])
+        np.maximum(max_flow, delay, out=max_flow)
+
+    # Sequential column adds replicate Python's left-to-right
+    # ``sum(worst.values())`` exactly; np.sum's pairwise order would not.
+    total = np.zeros(size)
+    for column in range(worst.shape[1]):
+        total = total + worst[:, column]
+    delay_cost = total / worst.shape[1] if worst.shape[1] else total
+
+    return BatchEvaluation(
+        moves=moves,
+        inter_in=inter_in,
+        inter_out=inter_out,
+        download=lastmile_down + inter_in,
+        upload=lastmile_up + inter_out,
+        transcodes=transcodes,
+        delay_cost_ms=delay_cost,
+        max_flow_ms=max_flow,
+    )
+
+
+def capacity_mask(
+    evaluation: BatchEvaluation,
+    residual_down: np.ndarray,
+    residual_up: np.ndarray,
+    residual_slots: np.ndarray,
+    tolerance: float,
+) -> np.ndarray:
+    """Per-candidate capacity feasibility (constraints (5)-(7)).
+
+    ``residual_*`` must already exclude the hopping session's own usage,
+    exactly as :meth:`CapacityLedger.fits` computes them.
+    """
+    return (
+        (evaluation.download <= residual_down[None, :] + tolerance).all(axis=1)
+        & (evaluation.upload <= residual_up[None, :] + tolerance).all(axis=1)
+        & (evaluation.transcodes <= residual_slots[None, :] + tolerance).all(axis=1)
+    )
+
+
+def delay_mask(evaluation: BatchEvaluation, dmax_ms: float) -> np.ndarray:
+    """Per-candidate delay-cap feasibility (constraint (8)), with the
+    same ``1e-9`` slack the reference path applies."""
+    return ~(evaluation.max_flow_ms > dmax_ms + 1e-9)

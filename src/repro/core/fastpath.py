@@ -11,7 +11,11 @@ latencies) is static per conference — only the agent choices vary.
 allocation-light evaluation primitives.  The reference implementations in
 :mod:`repro.core.traffic` and :mod:`repro.core.delay` remain the
 ground truth — the test suite asserts bit-for-bit agreement — but the
-solvers run on this module.
+solvers run on this module.  On top of the per-assignment kernels here,
+:mod:`repro.core.batched` evaluates a session's *entire* single-decision
+move set in one array pass (:meth:`ConferenceProfile.evaluate_candidates`
+is the entry point); the per-move kernels below remain the reference the
+batched layer is tested against.
 """
 
 from __future__ import annotations
@@ -220,6 +224,18 @@ class ConferenceProfile:
                 max_flow = delay
         mean = sum(worst.values()) / len(worst)
         return mean, max_flow
+
+    def evaluate_candidates(self, assignment, sid: int):
+        """Batched evaluation of session ``sid``'s full move set.
+
+        Returns a :class:`repro.core.batched.BatchEvaluation` whose rows
+        agree bit-for-bit with :meth:`session_usage` /
+        :meth:`session_delays` applied to each move's assignment.
+        """
+        from repro.core.batched import build_move_batch, evaluate_move_batch
+
+        moves = build_move_batch(self._conference, assignment, sid)
+        return evaluate_move_batch(self, assignment, moves)
 
     def session_user_delays(
         self, user_agent: np.ndarray, task_agent: np.ndarray, sid: int

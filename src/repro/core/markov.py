@@ -18,9 +18,16 @@ Two hop rules are provided:
 * ``"metropolis"`` — propose a uniform feasible neighbour and accept with
   ``min(1, (|N(f)| / |N(f')|) * exp(beta * (Phi_f - Phi_f')))``; the
   Hastings factor restores exact detailed balance w.r.t. Eq. (9), at the
-  price of a second neighbourhood enumeration per hop.
-  :mod:`repro.core.theory` quantifies the difference on enumerable
-  instances.
+  price of a second neighbourhood enumeration per hop (a feasibility
+  *count* against the shared capacity ledger — no search state is
+  rebuilt).  :mod:`repro.core.theory` quantifies the difference on
+  enumerable instances.
+
+Candidate evaluation runs on the vectorized kernel of
+:mod:`repro.core.batched` by default; ``MarkovConfig(batched=False)``
+selects the per-move reference path.  The two are bit-for-bit equivalent
+(same candidates, same ``phi``, same rng consumption), so trajectories
+are identical under either flag.
 
 All hop weights are computed in the log domain, so raw-unit objectives with
 ``beta = 400`` are handled without overflow.
@@ -40,7 +47,7 @@ import numpy as np
 from repro.core.assignment import Assignment
 from repro.core.neighborhood import Move
 from repro.core.objective import ObjectiveEvaluator
-from repro.core.search import Candidate, SearchContext
+from repro.core.search import Candidate, CandidateBatch, SearchContext
 from repro.errors import SolverError
 from repro.model.conference import Conference
 from repro.netsim.noise import NoiseModel
@@ -61,6 +68,23 @@ def hop_probabilities(
     return weights / weights.sum()
 
 
+def metropolis_log_acceptance(
+    beta: float,
+    phi_current: float,
+    phi_proposal: float,
+    forward_degree: int,
+    backward_degree: int,
+) -> float:
+    """Log of the Metropolis-Hastings acceptance ratio.
+
+    ``beta * (Phi_f - Phi_f') + log(|N(f)| / |N(f')|)`` — the energy term
+    plus the Hastings correction for asymmetric neighbourhood sizes.
+    """
+    return beta * (phi_current - phi_proposal) + np.log(
+        forward_degree / backward_degree
+    )
+
+
 @dataclass(frozen=True)
 class MarkovConfig:
     """Tuning parameters of Alg. 1.
@@ -77,11 +101,15 @@ class MarkovConfig:
         to it.
     hop_rule:
         ``"paper"`` or ``"metropolis"`` (see module docstring).
+    batched:
+        Use the vectorized candidate-evaluation kernel (default) or the
+        per-move reference path; trajectories are identical either way.
     """
 
     beta: float = 400.0
     tau: float = 0.1
     hop_rule: Literal["paper", "metropolis"] = "paper"
+    batched: bool = True
 
     def __post_init__(self) -> None:
         if self.beta <= 0:
@@ -131,6 +159,7 @@ class MarkovAssignmentSolver:
             active_sids=active_sids,
             noise=noise,
             rng=self._rng,
+            batched=self._config.batched,
         )
         self._hops = 0
         self._migrations = 0
@@ -194,20 +223,37 @@ class MarkovAssignmentSolver:
     # ------------------------------------------------------------------ #
 
     def session_hop(self, sid: int) -> HopResult:
-        """One HOP of session ``sid`` (lines 9-16 of Alg. 1)."""
+        """One HOP of session ``sid`` (lines 9-16 of Alg. 1).
+
+        On the batched path the hop rules act directly on the vectorized
+        ``phi`` array; only the chosen neighbour is materialized into a
+        full :class:`Candidate`.
+        """
         self._hops += 1
         phi_before = self._context.session_cost(sid).phi
-        candidates = self._context.feasible_candidates(sid)
-        if not candidates:
-            return HopResult(sid, False, None, phi_before, phi_before, 0)
-
-        if self._config.hop_rule == "paper":
-            chosen = self._paper_hop(phi_before, candidates)
+        if self._context.batched:
+            batch = self._context.candidate_batch(sid)
+            num_candidates = batch.num_feasible
+            if num_candidates == 0:
+                return HopResult(sid, False, None, phi_before, phi_before, 0)
+            if self._config.hop_rule == "paper":
+                chosen = self._paper_hop_batch(phi_before, batch)
+            else:
+                chosen = self._metropolis_hop_batch(sid, phi_before, batch)
         else:
-            chosen = self._metropolis_hop(sid, phi_before, candidates)
+            candidates = self._context.feasible_candidates(sid)
+            num_candidates = len(candidates)
+            if num_candidates == 0:
+                return HopResult(sid, False, None, phi_before, phi_before, 0)
+            if self._config.hop_rule == "paper":
+                chosen = self._paper_hop(phi_before, candidates)
+            else:
+                chosen = self._metropolis_hop(sid, phi_before, candidates)
 
         if chosen is None:
-            return HopResult(sid, False, None, phi_before, phi_before, len(candidates))
+            return HopResult(
+                sid, False, None, phi_before, phi_before, num_candidates
+            )
         self._context.commit(sid, chosen)
         self._migrations += 1
         phi_total = self._context.total_phi()
@@ -220,7 +266,7 @@ class MarkovAssignmentSolver:
             move=chosen.move,
             phi_before=phi_before,
             phi_after=self._context.session_cost(sid).phi,
-            num_candidates=len(candidates),
+            num_candidates=num_candidates,
         )
 
     def _paper_hop(self, phi_before: float, candidates: list[Candidate]) -> Candidate:
@@ -229,26 +275,53 @@ class MarkovAssignmentSolver:
         index = int(self._rng.choice(len(candidates), p=probabilities))
         return candidates[index]
 
+    def _paper_hop_batch(self, phi_before: float, batch: CandidateBatch) -> Candidate:
+        probabilities = hop_probabilities(phi_before, batch.phi, self._config.beta)
+        index = int(self._rng.choice(batch.num_feasible, p=probabilities))
+        return batch.materialize(index)
+
     def _metropolis_hop(
         self, sid: int, phi_before: float, candidates: list[Candidate]
     ) -> Candidate | None:
         proposal = candidates[int(self._rng.integers(len(candidates)))]
-        # Hastings correction: neighbourhood size at the proposed state.
-        forward = len(candidates)
-        probe = SearchContext(
-            self._context.evaluator,
+        accepted = self._metropolis_accept(
+            sid, phi_before, proposal.phi, len(candidates), proposal.assignment
+        )
+        return proposal if accepted else None
+
+    def _metropolis_hop_batch(
+        self, sid: int, phi_before: float, batch: CandidateBatch
+    ) -> Candidate | None:
+        position = int(self._rng.integers(batch.num_feasible))
+        proposal = batch.materialize(position)
+        accepted = self._metropolis_accept(
+            sid,
+            phi_before,
+            proposal.phi,
+            batch.num_feasible,
             proposal.assignment,
-            active_sids=self._context.active_sessions,
         )
-        backward = len(probe.feasible_candidates(sid))
+        return proposal if accepted else None
+
+    def _metropolis_accept(
+        self,
+        sid: int,
+        phi_before: float,
+        phi_proposal: float,
+        forward: int,
+        proposal_assignment: Assignment,
+    ) -> bool:
+        # Hastings correction: neighbourhood size at the proposed state,
+        # counted against the *current* capacity ledger (no other session
+        # moves, so the residuals excluding ``sid`` are unchanged) — the
+        # former full SearchContext rebuild per proposal is gone.
+        backward = self._context.count_feasible(sid, proposal_assignment)
         if backward == 0:
-            return None  # the reverse move would be impossible; reject
-        log_accept = self._config.beta * (phi_before - proposal.phi) + np.log(
-            forward / backward
+            return False  # the reverse move would be impossible; reject
+        log_accept = metropolis_log_acceptance(
+            self._config.beta, phi_before, phi_proposal, forward, backward
         )
-        if np.log(self._rng.uniform()) < min(0.0, log_accept):
-            return proposal
-        return None
+        return bool(np.log(self._rng.uniform()) < min(0.0, log_accept))
 
     # ------------------------------------------------------------------ #
     # Jump-chain simulation                                              #

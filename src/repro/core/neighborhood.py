@@ -16,6 +16,11 @@ from repro.core.assignment import Assignment
 from repro.errors import ModelError
 from repro.model.conference import Conference
 
+#: Integer codes for :attr:`Move.kind`, shared with the flat-array move
+#: representation of :mod:`repro.core.batched`.
+KIND_USER = 0
+KIND_TASK = 1
+
 
 @dataclass(frozen=True)
 class Move:

@@ -208,6 +208,49 @@ class ObjectiveEvaluator:
             for l in range(self._conference.num_agents)
         )
 
+    def traffic_cost_batch(self, inter_in: np.ndarray) -> np.ndarray:
+        """``G`` over a ``(C, L)`` candidate batch, one value per row.
+
+        The identity case reduces along the agent axis with the same
+        pairwise routine a per-row ``inter_in.sum()`` uses, so each row
+        matches the reference :meth:`traffic_cost` bit-for-bit; general
+        cost functions fall back to the reference's scalar loop per row.
+        """
+        if self._identity_g:
+            return inter_in.sum(axis=1)
+        num_agents = self._conference.num_agents
+        return np.array(
+            [
+                sum(self._g[l](float(row[l])) for l in range(num_agents))
+                for row in inter_in
+            ]
+        )
+
+    def transcode_cost_batch(self, transcodes: np.ndarray) -> np.ndarray:
+        """``H`` over a ``(C, L)`` candidate batch (see
+        :meth:`traffic_cost_batch`)."""
+        if self._identity_h:
+            return transcodes.sum(axis=1).astype(float)
+        num_agents = self._conference.num_agents
+        return np.array(
+            [
+                sum(self._h[l](float(row[l])) for l in range(num_agents))
+                for row in transcodes
+            ]
+        )
+
+    def phi_batch(
+        self, delay_cost_ms: np.ndarray, traffic: np.ndarray, transcode: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized ``Phi_{s,f}`` assembly, term order identical to
+        :meth:`assemble_session_cost`."""
+        w = self._weights
+        return (
+            w.alpha1 * delay_cost_ms / w.delay_scale
+            + w.alpha2 * traffic / w.traffic_scale
+            + w.alpha3 * transcode / w.transcode_scale
+        )
+
     def assemble_session_cost(
         self, sid: int, usage: SessionUsage, delay_cost_ms: float
     ) -> SessionCost:

@@ -6,6 +6,17 @@ rules.  :class:`SearchContext` centralizes that: it owns the current
 assignment, the capacity ledger, cached per-session costs, and candidate
 evaluation (usage + capacity fit + delay cap + session-local objective),
 so the solvers reduce to their selection rules.
+
+Candidate evaluation has two interchangeable paths:
+
+* the **reference** path (:meth:`SearchContext.evaluate_move`) evaluates
+  one move at a time through the per-assignment fastpath kernels, and
+* the **batched** path (:meth:`SearchContext.candidate_batch`) evaluates
+  the whole move set in one :mod:`repro.core.batched` array pass.
+
+Both produce bit-identical candidate sets, masks and ``phi`` values (the
+equivalence suite in ``tests/test_core_batched.py`` pins this), so the
+``batched`` flag is purely a performance switch; it defaults to on.
 """
 
 from __future__ import annotations
@@ -15,9 +26,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.assignment import Assignment
+from repro.core.batched import BatchEvaluation, capacity_mask, delay_mask
 from repro.core.capacity import CapacityLedger
+from repro.core.feasibility import CAPACITY_TOLERANCE
 from repro.core.neighborhood import Move, session_moves
 from repro.core.objective import ObjectiveEvaluator, SessionCost
+from repro.core.traffic import SessionUsage
 from repro.errors import ModelError, SolverError
 from repro.model.conference import Conference
 from repro.netsim.noise import NoiseModel, NoNoise
@@ -34,6 +48,83 @@ class Candidate:
     @property
     def phi(self) -> float:
         return self.cost.phi
+
+
+class CandidateBatch:
+    """One session's feasible neighbours as flat arrays.
+
+    Produced by :meth:`SearchContext.candidate_batch`.  Feasible
+    candidates keep the reference enumeration order; :attr:`phi` holds
+    their *observed* (possibly noise-perturbed) objectives, which is what
+    the HOP selection rules act on.  :meth:`materialize` builds a full
+    :class:`Candidate` only for the (single) chosen neighbour.
+    """
+
+    def __init__(
+        self,
+        evaluation: BatchEvaluation,
+        feasible: np.ndarray,
+        phi_observed: np.ndarray,
+        traffic: np.ndarray,
+        transcode: np.ndarray,
+        base_assignment: Assignment,
+    ):
+        self._evaluation = evaluation
+        self._feasible = feasible
+        self._feasible_indices = np.flatnonzero(feasible)
+        self._phi_observed = phi_observed
+        self._traffic = traffic
+        self._transcode = transcode
+        self._base = base_assignment
+
+    @property
+    def sid(self) -> int:
+        return self._evaluation.moves.sid
+
+    @property
+    def evaluation(self) -> BatchEvaluation:
+        return self._evaluation
+
+    @property
+    def feasible_mask(self) -> np.ndarray:
+        """Feasibility over the *raw* move set (before filtering)."""
+        return self._feasible
+
+    @property
+    def num_feasible(self) -> int:
+        return int(self._feasible_indices.shape[0])
+
+    @property
+    def phi(self) -> np.ndarray:
+        """Observed ``phi`` of the feasible candidates, enumeration order."""
+        return self._phi_observed[self._feasible_indices]
+
+    def materialize(self, position: int) -> Candidate:
+        """Build the full :class:`Candidate` for the ``position``-th
+        *feasible* neighbour (the index the hop rules select on)."""
+        i = int(self._feasible_indices[position])
+        evaluation = self._evaluation
+        move = evaluation.moves.move(i)
+        usage = SessionUsage(
+            sid=self.sid,
+            inter_in=evaluation.inter_in[i].copy(),
+            inter_out=evaluation.inter_out[i].copy(),
+            download=evaluation.download[i].copy(),
+            upload=evaluation.upload[i].copy(),
+            transcodes=evaluation.transcodes[i].copy(),
+        )
+        cost = SessionCost(
+            sid=self.sid,
+            phi=float(self._phi_observed[i]),
+            delay_cost_ms=float(evaluation.delay_cost_ms[i]),
+            traffic_cost=float(self._traffic[i]),
+            transcode_cost=float(self._transcode[i]),
+            usage=usage,
+        )
+        return Candidate(move=move, assignment=move.apply(self._base), cost=cost)
+
+    def materialize_all(self) -> list[Candidate]:
+        return [self.materialize(p) for p in range(self.num_feasible)]
 
 
 class SearchContext:
@@ -54,6 +145,9 @@ class SearchContext:
         models the noisy measurements of Sec. IV-A.4.
     rng:
         Generator used only for noise draws here; solvers hold their own.
+    batched:
+        Select the vectorized candidate-evaluation kernel (default) or
+        the per-move reference path; both yield bit-identical candidates.
     """
 
     def __init__(
@@ -63,7 +157,9 @@ class SearchContext:
         active_sids: list[int] | None = None,
         noise: NoiseModel | None = None,
         rng: np.random.Generator | None = None,
+        batched: bool = True,
     ):
+        self._batched = bool(batched)
         self._evaluator = evaluator
         self._conference = evaluator.conference
         self._active = (
@@ -106,6 +202,11 @@ class SearchContext:
     @property
     def active_sessions(self) -> list[int]:
         return list(self._active)
+
+    @property
+    def batched(self) -> bool:
+        """Whether candidate evaluation uses the vectorized kernel."""
+        return self._batched
 
     def session_cost(self, sid: int) -> SessionCost:
         return self._costs[sid]
@@ -163,12 +264,82 @@ class SearchContext:
 
     def feasible_candidates(self, sid: int) -> list[Candidate]:
         """All feasible single-decision neighbours of session ``sid``."""
+        if self._batched:
+            return self.candidate_batch(sid).materialize_all()
         candidates = []
         for move in session_moves(self._conference, self._assignment, sid):
             candidate = self.evaluate_move(sid, move)
             if candidate is not None:
                 candidates.append(candidate)
         return candidates
+
+    def candidate_batch(self, sid: int) -> CandidateBatch:
+        """Vectorized equivalent of :meth:`feasible_candidates`.
+
+        One :mod:`repro.core.batched` array pass over the session's whole
+        move set; noise draws are then applied per *feasible* candidate
+        in enumeration order, consuming the generator exactly as the
+        reference path does.
+        """
+        evaluation = self._evaluator.profile.evaluate_candidates(
+            self._assignment, sid
+        )
+        feasible = self._feasibility_mask(sid, evaluation)
+        traffic = self._evaluator.traffic_cost_batch(evaluation.inter_in)
+        transcode = self._evaluator.transcode_cost_batch(evaluation.transcodes)
+        phi = self._evaluator.phi_batch(evaluation.delay_cost_ms, traffic, transcode)
+        if not isinstance(self._noise, NoNoise):
+            phi = phi.copy()
+            for i in np.flatnonzero(feasible):
+                phi[i] = self._noise.perturb(float(phi[i]), self._rng)
+        return CandidateBatch(
+            evaluation=evaluation,
+            feasible=feasible,
+            phi_observed=phi,
+            traffic=traffic,
+            transcode=transcode,
+            base_assignment=self._assignment,
+        )
+
+    def _feasibility_mask(self, sid: int, evaluation: BatchEvaluation) -> np.ndarray:
+        mask = delay_mask(evaluation, self._conference.dmax_ms)
+        if not self._ledger.unconstrained:
+            res_down, res_up, res_slots = self._ledger.residuals(excluding_sid=sid)
+            mask &= capacity_mask(
+                evaluation, res_down, res_up, res_slots, CAPACITY_TOLERANCE
+            )
+        return mask
+
+    def count_feasible(self, sid: int, assignment: Assignment) -> int:
+        """Feasibility degree of ``sid`` at an arbitrary assignment.
+
+        Used for the Hastings correction of the Metropolis hop rule: the
+        neighbourhood size at a *proposed* state.  Because no other
+        session moves, the residual capacities excluding ``sid`` are the
+        same at the current and proposed states, so the current ledger
+        answers the question without rebuilding any search state.
+        """
+        if self._batched:
+            evaluation = self._evaluator.profile.evaluate_candidates(assignment, sid)
+            if evaluation.size == 0:
+                return 0
+            return int(np.count_nonzero(self._feasibility_mask(sid, evaluation)))
+        profile = self._evaluator.profile
+        count = 0
+        for move in session_moves(self._conference, assignment, sid):
+            candidate = move.apply(assignment)
+            usage = profile.session_usage(
+                candidate.user_agent, candidate.task_agent, sid
+            )
+            if not self._ledger.fits(usage):
+                continue
+            _, max_flow = profile.session_delays(
+                candidate.user_agent, candidate.task_agent, sid
+            )
+            if max_flow > self._conference.dmax_ms + 1e-9:
+                continue
+            count += 1
+        return count
 
     # ------------------------------------------------------------------ #
     # Commitment                                                         #

@@ -7,6 +7,15 @@ configuration and :mod:`repro.runtime` for the simulator — and it fails
 fast (:class:`~repro.errors.SpecError`) on anything dangling (unknown
 regions, infeasible churn plans, capacity envelopes on workloads that do
 not model them) *before* any solve starts.
+
+Compilation shares the latency substrate across runs: the workload
+builders synthesize ``(D, H)`` through the process-local memo of
+:func:`repro.netsim.latency.substrate_matrices`, keyed by the latency
+seed plus the ordered region / site identities.  Grid points of a sweep
+that vary only solver or simulation knobs therefore compile against one
+shared substrate instead of rebuilding identical matrices per point
+(ROADMAP "Shared-substrate caching"); :func:`substrate_cache_info`
+exposes the hit/build counters.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from repro.experiments.common import effective_beta
 from repro.fleet.spec import RunSpec
 from repro.model.conference import Conference
 from repro.model.representation import PAPER_LADDER
+from repro.netsim.latency import substrate_cache_stats
 from repro.netsim.noise import GaussianNoise, NoiseModel, QuantizedPerturbation
 from repro.runtime.dynamics import DynamicsSchedule
 from repro.runtime.simulation import (
@@ -123,6 +133,15 @@ def _schedule(spec: RunSpec, num_sessions: int) -> DynamicsSchedule:
             f"spec {spec.name!r}: churn plan infeasible for "
             f"{num_sessions} sessions: {error}"
         ) from error
+
+
+def substrate_cache_info() -> dict:
+    """Hit/build counters of the shared latency-substrate cache.
+
+    Counters are process-local: under a pooled fleet each worker keeps
+    its own cache, warmed as units stream through it.
+    """
+    return substrate_cache_stats()
 
 
 def compile_spec(spec: RunSpec) -> CompiledRun:

@@ -169,10 +169,32 @@ class FleetOrchestrator:
     # Execution                                                          #
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def _substrate_affinity(unit: RunUnit) -> tuple:
+        """Sort key grouping units that share a latency substrate.
+
+        Scenario compilation memoizes ``(D, H)`` by (latency seed,
+        regions, sites) — see :mod:`repro.fleet.compile` — so executing
+        same-substrate units back-to-back maximizes warm-cache hits.
+        Workload knobs that change the site draw are part of the key;
+        the final results file is rewritten in matrix order regardless,
+        so dispatch order never shows in the output.
+        """
+        spec = unit.spec
+        return (
+            spec.topology.latency_seed,
+            spec.topology.num_user_sites,
+            tuple(spec.topology.regions or ()),
+            tuple(spec.topology.user_sites or ()),
+            spec.workload.kind,
+            spec.simulation.seed,
+        )
+
     def _execute(self, pending: list[RunUnit]) -> list[dict]:
         """Run pending units, appending each finished record to the JSONL
         file as it completes — an interrupted fleet keeps its progress and
         the next invocation resumes from the cache."""
+        pending = sorted(pending, key=self._substrate_affinity)
         payloads = [
             (unit.run_id, unit.spec.to_dict(), unit.axes, unit.seed)
             for unit in pending

@@ -22,7 +22,13 @@ with the same structural properties (see DESIGN.md, substitution table):
 """
 
 from repro.netsim.geo import GeoPoint, great_circle_km
-from repro.netsim.latency import LatencyModel, LatencySample
+from repro.netsim.latency import (
+    LatencyModel,
+    LatencySample,
+    clear_substrate_cache,
+    substrate_cache_stats,
+    substrate_matrices,
+)
 from repro.netsim.measurement import MeasurementErrorModel, measured_conference
 from repro.netsim.noise import GaussianNoise, NoiseModel, NoNoise, QuantizedPerturbation
 from repro.netsim.pricing import RegionPricing, dollar_cost_functions, egress_cost_per_hour
@@ -49,10 +55,13 @@ __all__ = [
     "RegionPricing",
     "USER_SITES",
     "UserSite",
+    "clear_substrate_cache",
     "dollar_cost_functions",
     "egress_cost_per_hour",
     "great_circle_km",
     "known_region_names",
     "known_site_names",
     "measured_conference",
+    "substrate_cache_stats",
+    "substrate_matrices",
 ]

@@ -170,3 +170,79 @@ class LatencyModel:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Convenience: ``(D, H)`` for the given regions and user sites."""
         return self.inter_agent_matrix(regions), self.agent_user_matrix(regions, sites)
+
+    def cache_key(
+        self, regions: list[CloudRegion], sites: list[UserSite]
+    ) -> tuple:
+        """Identity of the substrate this model would synthesize.
+
+        Two models with equal keys produce bit-identical ``(D, H)``
+        matrices: synthesis is a pure function of the model parameters
+        (seed included) and the ordered region / site lists.
+        """
+        return (
+            self._seed,
+            self._mean_inflation,
+            self._inflation_sigma,
+            tuple(self._user_lastmile),
+            tuple(self._agent_lastmile),
+            self._min_floor,
+            tuple(regions),
+            tuple(sites),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Shared-substrate cache (ROADMAP "Shared-substrate caching")            #
+# --------------------------------------------------------------------- #
+#
+# Fleet sweeps re-compile a scenario per grid point; whenever only solver
+# or simulation knobs vary, the latency substrate — the expensive part of
+# compilation — is identical across points.  This process-local memo
+# returns the same (read-only) matrices for the same (model, regions,
+# sites) identity, so a sweep synthesizes each distinct substrate once.
+
+_SUBSTRATE_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+_SUBSTRATE_CACHE_LIMIT = 32
+_SUBSTRATE_STATS = {"builds": 0, "hits": 0}
+
+
+def substrate_matrices(
+    model: LatencyModel, regions: list[CloudRegion], sites: list[UserSite]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized ``(D, H)`` synthesis.
+
+    Cache hits return the *same* array objects, marked read-only so a
+    consumer cannot corrupt another run's substrate (the model/topology
+    layer copies on ingest anyway).  Keyed by the full model parameter
+    set plus the ordered region and site identities, so distinct latency
+    seeds or site draws never share.
+    """
+    key = model.cache_key(regions, sites)
+    cached = _SUBSTRATE_CACHE.get(key)
+    if cached is not None:
+        _SUBSTRATE_STATS["hits"] += 1
+        return cached
+    inter_agent = model.inter_agent_matrix(regions)
+    agent_user = model.agent_user_matrix(regions, sites)
+    inter_agent.setflags(write=False)
+    agent_user.setflags(write=False)
+    _SUBSTRATE_STATS["builds"] += 1
+    _SUBSTRATE_CACHE[key] = (inter_agent, agent_user)
+    if len(_SUBSTRATE_CACHE) > _SUBSTRATE_CACHE_LIMIT:
+        # Evict the oldest entry (dicts preserve insertion order).
+        del _SUBSTRATE_CACHE[next(iter(_SUBSTRATE_CACHE))]
+    return inter_agent, agent_user
+
+
+def substrate_cache_stats() -> dict[str, int]:
+    """``{"builds": ..., "hits": ..., "entries": ...}`` counters of the
+    process-local substrate cache (for tests and fleet reporting)."""
+    return {**_SUBSTRATE_STATS, "entries": len(_SUBSTRATE_CACHE)}
+
+
+def clear_substrate_cache() -> None:
+    """Drop all cached substrates and reset the counters."""
+    _SUBSTRATE_CACHE.clear()
+    _SUBSTRATE_STATS["builds"] = 0
+    _SUBSTRATE_STATS["hits"] = 0

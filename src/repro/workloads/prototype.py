@@ -15,7 +15,7 @@ from repro.errors import ModelError
 from repro.model.builder import ConferenceBuilder
 from repro.model.conference import Conference
 from repro.model.representation import PAPER_LADDER
-from repro.netsim.latency import LatencyModel
+from repro.netsim.latency import LatencyModel, substrate_matrices
 from repro.netsim.sites import USER_SITES, UserSite, region
 from repro.workloads.demand import DemandModel
 
@@ -123,6 +123,7 @@ def prototype_conference(
         builder.add_session(*member_ids, name=f"session-{sid}")
 
     latency = LatencyModel(seed=seed if latency_seed is None else latency_seed)
-    inter_agent = latency.inter_agent_matrix(regions)
-    agent_user = latency.agent_user_matrix(regions, user_sites)
+    # Memoized per (latency seed, regions, user sites) — see
+    # :func:`repro.netsim.latency.substrate_matrices`.
+    inter_agent, agent_user = substrate_matrices(latency, regions, user_sites)
     return builder.build(inter_agent_ms=inter_agent, agent_user_ms=agent_user)

@@ -20,7 +20,7 @@ from repro.errors import ModelError
 from repro.model.builder import ConferenceBuilder
 from repro.model.conference import Conference
 from repro.model.representation import PAPER_LADDER
-from repro.netsim.latency import LatencyModel
+from repro.netsim.latency import LatencyModel, substrate_matrices
 from repro.netsim.sites import region, sample_user_sites
 from repro.workloads.demand import DemandModel
 
@@ -194,7 +194,8 @@ def scenario_conference(
         builder.add_session(*member_ids, name=f"session-{sid}")
 
     latency = LatencyModel(seed=params.latency_seed)
-    inter_agent = latency.inter_agent_matrix(regions)
     selected_sites = [sites[i] for i in user_site_idx]
-    agent_user = latency.agent_user_matrix(regions, selected_sites)
+    # Memoized per (latency_seed, regions, selected sites): sweeps that
+    # vary only solver/simulation knobs synthesize the substrate once.
+    inter_agent, agent_user = substrate_matrices(latency, regions, selected_sites)
     return builder.build(inter_agent_ms=inter_agent, agent_user_ms=agent_user)

@@ -5,6 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: opt-in performance tests (set REPRO_PERF=1 to run)",
+    )
+
 from repro.model.builder import ConferenceBuilder
 from repro.model.representation import PAPER_LADDER
 from repro.workloads.motivating import motivating_conference

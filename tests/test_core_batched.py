@@ -1,0 +1,285 @@
+"""Equivalence suite: the batched HOP kernel vs the reference path.
+
+The batched kernel (:mod:`repro.core.batched`) is only allowed to exist
+because it is *provably interchangeable* with the per-move reference
+path: same candidate enumeration, same feasibility mask, bit-for-bit
+identical ``phi`` values, and — given one rng — the same chosen hop.
+These tests enforce that contract over randomized conferences (seeded
+property-style loops over sizes, alphas, capacity envelopes and noise)
+and over full solver trajectories on library scenarios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batched import build_move_batch, evaluate_move_batch
+from repro.core.markov import MarkovAssignmentSolver, MarkovConfig
+from repro.core.nearest import nearest_assignment
+from repro.core.neighborhood import session_moves
+from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.core.search import SearchContext
+from repro.fleet.library import load_library_spec
+from repro.fleet.compile import compile_spec
+from repro.fleet.orchestrator import expand_matrix
+from repro.netsim.noise import GaussianNoise, QuantizedPerturbation
+from repro.workloads.prototype import prototype_conference
+from repro.workloads.scenarios import ScenarioParams, scenario_conference
+from tests.conftest import build_pair_conference
+
+#: Randomized instances for the property-style loops: (seed, params).
+SCENARIO_GRID = [
+    (3, ScenarioParams(num_user_sites=32, num_users=12)),
+    (5, ScenarioParams(num_user_sites=64, num_users=30)),
+    (
+        7,
+        ScenarioParams(
+            num_user_sites=48,
+            num_users=24,
+            mean_bandwidth_mbps=250.0,
+            mean_transcode_slots=25.0,
+        ),
+    ),
+    (
+        11,
+        ScenarioParams(
+            num_user_sites=64,
+            num_users=20,
+            max_session_size=4,
+            session_locality=0.4,
+        ),
+    ),
+]
+
+ALPHAS = [(1.0, 1.0, 1.0), (5.0, 1.0, 0.2)]
+
+
+def make_evaluator(conference, alphas=(1.0, 1.0, 1.0)):
+    a1, a2, a3 = alphas
+    return ObjectiveEvaluator(
+        conference,
+        ObjectiveWeights.normalized_for(conference, alpha1=a1, alpha2=a2, alpha3=a3),
+    )
+
+
+def assert_candidates_identical(reference, batched):
+    """Same candidate set, same order, bit-for-bit equal costs."""
+    assert len(reference) == len(batched)
+    for ref, fast in zip(reference, batched):
+        assert ref.move == fast.move
+        assert ref.assignment == fast.assignment
+        # Bit-for-bit: exact float equality, not approx.
+        assert ref.phi == fast.phi
+        assert ref.cost.delay_cost_ms == fast.cost.delay_cost_ms
+        assert ref.cost.traffic_cost == fast.cost.traffic_cost
+        assert ref.cost.transcode_cost == fast.cost.transcode_cost
+        for field in ("inter_in", "inter_out", "download", "upload", "transcodes"):
+            assert np.array_equal(
+                getattr(ref.cost.usage, field), getattr(fast.cost.usage, field)
+            )
+
+
+class TestMoveBatch:
+    def test_matches_session_moves_enumeration(self, small_scenario_conf):
+        assignment = nearest_assignment(small_scenario_conf)
+        for sid in range(small_scenario_conf.num_sessions):
+            batch = build_move_batch(small_scenario_conf, assignment, sid)
+            listed = list(session_moves(small_scenario_conf, assignment, sid))
+            assert batch.size == len(listed)
+            for i, move in enumerate(listed):
+                assert batch.move(i) == move
+
+    def test_single_agent_conference_yields_empty_batch(self):
+        conf = prototype_conference(
+            seed=1, num_sessions=2, regions_override=("Virginia",)
+        )
+        assignment = nearest_assignment(conf)
+        batch = build_move_batch(conf, assignment, 0)
+        assert batch.size == 0
+
+    def test_kernel_rows_match_reference_kernels(self, small_scenario_conf):
+        """BatchEvaluation rows == per-assignment fastpath kernels."""
+        evaluator = make_evaluator(small_scenario_conf)
+        profile = evaluator.profile
+        assignment = nearest_assignment(small_scenario_conf)
+        for sid in (0, small_scenario_conf.num_sessions - 1):
+            batch = build_move_batch(small_scenario_conf, assignment, sid)
+            evaluation = evaluate_move_batch(profile, assignment, batch)
+            for i in range(batch.size):
+                candidate = batch.move(i).apply(assignment)
+                usage = profile.session_usage(
+                    candidate.user_agent, candidate.task_agent, sid
+                )
+                mean, max_flow = profile.session_delays(
+                    candidate.user_agent, candidate.task_agent, sid
+                )
+                assert np.array_equal(evaluation.inter_in[i], usage.inter_in)
+                assert np.array_equal(evaluation.inter_out[i], usage.inter_out)
+                assert np.array_equal(evaluation.download[i], usage.download)
+                assert np.array_equal(evaluation.upload[i], usage.upload)
+                assert np.array_equal(evaluation.transcodes[i], usage.transcodes)
+                assert evaluation.delay_cost_ms[i] == mean
+                assert evaluation.max_flow_ms[i] == max_flow
+
+
+class TestCandidateEquivalence:
+    @pytest.mark.parametrize("seed,params", SCENARIO_GRID)
+    @pytest.mark.parametrize("alphas", ALPHAS)
+    def test_candidates_bitwise_equal_on_random_conferences(self, seed, params, alphas):
+        conference = scenario_conference(seed=seed, params=params)
+        evaluator = make_evaluator(conference, alphas)
+        assignment = nearest_assignment(conference)
+        reference = SearchContext(evaluator, assignment, batched=False)
+        fast = SearchContext(evaluator, assignment, batched=True)
+        for sid in range(conference.num_sessions):
+            assert_candidates_identical(
+                reference.feasible_candidates(sid), fast.feasible_candidates(sid)
+            )
+
+    @pytest.mark.parametrize("seed,params", SCENARIO_GRID)
+    def test_feasibility_mask_matches_reference(self, seed, params):
+        conference = scenario_conference(seed=seed, params=params)
+        evaluator = make_evaluator(conference)
+        assignment = nearest_assignment(conference)
+        reference = SearchContext(evaluator, assignment, batched=False)
+        fast = SearchContext(evaluator, assignment, batched=True)
+        for sid in range(conference.num_sessions):
+            batch = fast.candidate_batch(sid)
+            expected = [
+                reference.evaluate_move(sid, move) is not None
+                for move in session_moves(conference, assignment, sid)
+            ]
+            assert batch.feasible_mask.tolist() == expected
+
+    @pytest.mark.parametrize(
+        "noise_factory",
+        [
+            lambda: GaussianNoise(sigma=0.05),
+            lambda: QuantizedPerturbation(delta=0.1, levels=3),
+        ],
+    )
+    def test_noisy_observations_consume_rng_identically(self, noise_factory):
+        conference = scenario_conference(
+            seed=9, params=ScenarioParams(num_user_sites=32, num_users=14)
+        )
+        evaluator = make_evaluator(conference)
+        assignment = nearest_assignment(conference)
+        reference = SearchContext(
+            evaluator,
+            assignment,
+            noise=noise_factory(),
+            rng=np.random.default_rng(21),
+            batched=False,
+        )
+        fast = SearchContext(
+            evaluator,
+            assignment,
+            noise=noise_factory(),
+            rng=np.random.default_rng(21),
+            batched=True,
+        )
+        for sid in range(conference.num_sessions):
+            assert_candidates_identical(
+                reference.feasible_candidates(sid), fast.feasible_candidates(sid)
+            )
+
+    def test_same_chosen_hop_under_fixed_rng(self):
+        conference = scenario_conference(
+            seed=13, params=ScenarioParams(num_user_sites=48, num_users=20)
+        )
+        evaluator = make_evaluator(conference)
+        assignment = nearest_assignment(conference)
+        for hop_rule in ("paper", "metropolis"):
+            solvers = [
+                MarkovAssignmentSolver(
+                    evaluator,
+                    assignment,
+                    config=MarkovConfig(beta=64.0, hop_rule=hop_rule, batched=batched),
+                    rng=np.random.default_rng(4),
+                )
+                for batched in (False, True)
+            ]
+            for sid in range(conference.num_sessions):
+                ref_hop = solvers[0].session_hop(sid)
+                fast_hop = solvers[1].session_hop(sid)
+                assert ref_hop == fast_hop
+
+    def test_pair_conference_candidates_equal(self):
+        conference = build_pair_conference("720p", "360p", "360p", "480p")
+        evaluator = make_evaluator(conference)
+        from repro.core.assignment import Assignment
+
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        reference = SearchContext(evaluator, assignment, batched=False)
+        fast = SearchContext(evaluator, assignment, batched=True)
+        assert_candidates_identical(
+            reference.feasible_candidates(0), fast.feasible_candidates(0)
+        )
+
+
+class TestTrajectoryEquivalence:
+    """The flagged paths must produce identical solver *trajectories*."""
+
+    @staticmethod
+    def _unit_spec(name):
+        spec = load_library_spec(name)
+        return expand_matrix(spec)[0].spec
+
+    @pytest.mark.parametrize("library_name", ["prototype_smoke", "beta_locality"])
+    def test_library_scenario_trajectories_identical(self, library_name):
+        compiled = compile_spec(self._unit_spec(library_name))
+        conference = compiled.conference
+        evaluator = compiled.evaluator
+        assignment = nearest_assignment(conference)
+        trajectories = []
+        for batched in (False, True):
+            solver = MarkovAssignmentSolver(
+                evaluator,
+                assignment,
+                config=MarkovConfig(beta=compiled.config.markov.beta, batched=batched),
+                rng=np.random.default_rng(97),
+            )
+            hops = []
+            solver.run(
+                200,
+                on_hop=lambda r: hops.append(
+                    (r.sid, r.moved, r.move, r.phi_before, r.phi_after, r.num_candidates)
+                ),
+            )
+            trajectories.append(
+                (
+                    hops,
+                    solver.hops,
+                    solver.migrations,
+                    solver.best_phi,
+                    solver.assignment.key(),
+                    solver.best_assignment.key(),
+                )
+            )
+        assert trajectories[0] == trajectories[1]
+
+    def test_metropolis_trajectories_identical_under_capacity(self):
+        conference = scenario_conference(
+            seed=17,
+            params=ScenarioParams(
+                num_user_sites=48,
+                num_users=24,
+                mean_bandwidth_mbps=220.0,
+                mean_transcode_slots=20.0,
+            ),
+        )
+        evaluator = make_evaluator(conference)
+        assignment = nearest_assignment(conference)
+        trajectories = []
+        for batched in (False, True):
+            solver = MarkovAssignmentSolver(
+                evaluator,
+                assignment,
+                config=MarkovConfig(beta=48.0, hop_rule="metropolis", batched=batched),
+                rng=np.random.default_rng(31),
+            )
+            hops = []
+            solver.run(250, on_hop=lambda r: hops.append((r.sid, r.moved, r.move)))
+            trajectories.append((hops, solver.best_phi, solver.assignment.key()))
+        assert trajectories[0] == trajectories[1]

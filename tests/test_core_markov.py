@@ -10,9 +10,11 @@ from repro.core.markov import (
     MarkovConfig,
     hop_log_weights,
     hop_probabilities,
+    metropolis_log_acceptance,
 )
 from repro.core.nearest import nearest_assignment
 from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.core.search import SearchContext
 from repro.errors import SolverError
 from repro.netsim.noise import QuantizedPerturbation
 from tests.conftest import build_pair_conference
@@ -165,6 +167,80 @@ class TestSolver:
         solver.run(5, on_hop=seen.append)
         assert len(seen) == 5
 
+class TestMetropolisHastings:
+    """The Hastings correction and its (probe-free) backward count."""
+
+    def test_log_acceptance_pins_hastings_ratio(self):
+        """``beta * (phi - phi') + log(|N(f)| / |N(f')|)`` exactly."""
+        value = metropolis_log_acceptance(
+            beta=2.0,
+            phi_current=1.0,
+            phi_proposal=0.5,
+            forward_degree=6,
+            backward_degree=3,
+        )
+        assert value == pytest.approx(2.0 * 0.5 + np.log(2.0))
+        # Symmetric neighbourhoods reduce to pure Metropolis.
+        symmetric = metropolis_log_acceptance(4.0, 1.0, 1.25, 5, 5)
+        assert symmetric == pytest.approx(-1.0)
+        # A shrinking neighbourhood at the proposal boosts acceptance.
+        assert metropolis_log_acceptance(1.0, 1.0, 1.0, 8, 2) == pytest.approx(
+            np.log(4.0)
+        )
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_count_feasible_matches_probe_context(self, batched):
+        """The backward degree equals what the old full-SearchContext
+        probe computed, without rebuilding any search state."""
+        from repro.workloads.scenarios import ScenarioParams, scenario_conference
+
+        conference = scenario_conference(
+            seed=23,
+            params=ScenarioParams(
+                num_user_sites=32,
+                num_users=16,
+                mean_bandwidth_mbps=200.0,
+                mean_transcode_slots=18.0,
+            ),
+        )
+        evaluator = ObjectiveEvaluator(
+            conference, ObjectiveWeights.normalized_for(conference)
+        )
+        assignment = nearest_assignment(conference)
+        context = SearchContext(evaluator, assignment, batched=batched)
+        for sid in range(min(4, conference.num_sessions)):
+            for candidate in context.feasible_candidates(sid)[:5]:
+                probe = SearchContext(
+                    evaluator,
+                    candidate.assignment,
+                    active_sids=context.active_sessions,
+                    batched=batched,
+                )
+                expected = len(probe.feasible_candidates(sid))
+                assert context.count_feasible(sid, candidate.assignment) == expected
+
+    def test_metropolis_hop_builds_no_probe_context(self, conf, evaluator, monkeypatch):
+        """Regression: the Hastings count must reuse the live context."""
+        solver = MarkovAssignmentSolver(
+            evaluator,
+            nearest_assignment(conf),
+            config=MarkovConfig(beta=16.0, hop_rule="metropolis"),
+            rng=np.random.default_rng(11),
+        )
+        constructions = []
+        original_init = SearchContext.__init__
+
+        def counting_init(self, *args, **kwargs):
+            constructions.append(self)
+            return original_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(SearchContext, "__init__", counting_init)
+        for _ in range(25):
+            solver.session_hop(0)
+        assert constructions == []
+
+
+class TestSolverMultiSession:
     def test_multi_session_hops_only_touch_own_session(self, proto_conf):
         evaluator = ObjectiveEvaluator(
             proto_conf, ObjectiveWeights.normalized_for(proto_conf)

@@ -1,0 +1,63 @@
+"""Opt-in perf smoke: the batched HOP kernel must actually be faster.
+
+Correctness of the batched path is pinned bit-for-bit by
+``test_core_batched.py``; this module guards the *point* of the kernel —
+throughput on huge_conference-scale sessions.  Timing tests are
+machine-sensitive, so they are opt-in (``REPRO_PERF=1``) and assert a
+conservative floor (2x) below the 3x the benchmarks demonstrate; the
+BENCH targets in ``benchmarks/bench_core_perf.py`` capture the full
+before/after hops/sec numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.markov import MarkovAssignmentSolver, MarkovConfig
+from repro.core.nearest import nearest_assignment
+from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.workloads.scenarios import ScenarioParams, scenario_conference
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        not os.environ.get("REPRO_PERF"),
+        reason="perf smoke is opt-in; set REPRO_PERF=1",
+    ),
+]
+
+#: Conservative floor for the opt-in smoke; benches document >= 3x.
+MIN_SPEEDUP = 2.0
+
+
+def hops_per_second(batched: bool, conference, evaluator, num_hops: int) -> float:
+    solver = MarkovAssignmentSolver(
+        evaluator,
+        nearest_assignment(conference),
+        config=MarkovConfig(beta=64.0, batched=batched),
+        rng=np.random.default_rng(0),
+    )
+    solver.run(20)  # warm caches outside the timed window
+    start = time.perf_counter()
+    solver.run(num_hops)
+    return num_hops / (time.perf_counter() - start)
+
+
+def test_batched_hop_faster_on_huge_conference_scale():
+    """huge_conference-scale draw (500 users over 384 sites)."""
+    conference = scenario_conference(
+        seed=11, params=ScenarioParams(num_user_sites=384, num_users=500)
+    )
+    evaluator = ObjectiveEvaluator(
+        conference, ObjectiveWeights.normalized_for(conference)
+    )
+    reference = hops_per_second(False, conference, evaluator, 150)
+    batched = hops_per_second(True, conference, evaluator, 150)
+    assert batched > MIN_SPEEDUP * reference, (
+        f"batched {batched:.0f} hops/s vs reference {reference:.0f} hops/s "
+        f"(< {MIN_SPEEDUP}x)"
+    )
