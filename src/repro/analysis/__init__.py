@@ -1,24 +1,81 @@
-"""Analysis utilities for experiment outputs.
+"""Analysis utilities for experiment and fleet outputs.
 
-* :mod:`repro.analysis.series` — time-series resampling and smoothing;
-* :mod:`repro.analysis.stats` — box-plot statistics (Fig. 8) and summary
-  aggregates;
+* :mod:`repro.analysis.series` — time-series resampling, smoothing and
+  the JSON-safe downsampling used by persisted records;
+* :mod:`repro.analysis.stats` — box-plot statistics (Fig. 8), summary
+  aggregates and bootstrap confidence intervals;
 * :mod:`repro.analysis.convergence` — convergence-time detection on the
   Figs. 4-6 series;
-* :mod:`repro.analysis.tables` — aligned ASCII table rendering (Table II).
+* :mod:`repro.analysis.tables` — aligned ASCII table rendering (Table II);
+* :mod:`repro.analysis.report` — the versioned ``results.jsonl`` record
+  schema and cross-fleet comparison reports (spec diffs vs metric
+  deltas, terminal + CSV);
+* :mod:`repro.analysis.html` — the single-file HTML dashboard with
+  inline SVG sparklines over the same comparison.
 """
 
 from repro.analysis.convergence import convergence_time
-from repro.analysis.series import resample_step, moving_average
-from repro.analysis.stats import BoxStats, box_stats, summarize
+from repro.analysis.html import render_html, sparkline_svg
+from repro.analysis.report import (
+    ENVELOPE_FIELDS,
+    FLEET_METRIC_FIELDS,
+    REPORT_METRICS,
+    SCHEMA_VERSION,
+    SUMMARY_METRICS,
+    FleetComparison,
+    FleetRun,
+    MetricStats,
+    aggregate_records,
+    compare_fleets,
+    comparison_csv,
+    flatten_spec,
+    load_fleet_run,
+    load_fleet_runs,
+    load_result_records,
+    metric_stats,
+    render_comparison,
+    render_run_report,
+    spec_diff,
+    upgrade_record,
+    validate_record,
+    write_records,
+)
+from repro.analysis.series import downsample_series, moving_average, resample_step
+from repro.analysis.stats import BoxStats, bootstrap_ci, box_stats, summarize
 from repro.analysis.tables import render_table
 
 __all__ = [
     "BoxStats",
+    "ENVELOPE_FIELDS",
+    "FLEET_METRIC_FIELDS",
+    "FleetComparison",
+    "FleetRun",
+    "MetricStats",
+    "REPORT_METRICS",
+    "SCHEMA_VERSION",
+    "SUMMARY_METRICS",
+    "aggregate_records",
+    "bootstrap_ci",
     "box_stats",
+    "compare_fleets",
+    "comparison_csv",
     "convergence_time",
+    "downsample_series",
+    "flatten_spec",
+    "load_fleet_run",
+    "load_fleet_runs",
+    "load_result_records",
+    "metric_stats",
     "moving_average",
+    "render_comparison",
+    "render_html",
+    "render_run_report",
     "render_table",
     "resample_step",
+    "spec_diff",
+    "sparkline_svg",
     "summarize",
+    "upgrade_record",
+    "validate_record",
+    "write_records",
 ]

@@ -1,0 +1,250 @@
+"""Single-file static HTML dashboard for fleet comparisons.
+
+Renders a :class:`~repro.analysis.report.FleetComparison` as one
+self-contained HTML document — inline CSS, inline SVG sparklines drawn
+from the downsampled convergence series stored in ``results.jsonl``
+records, and no external assets or plotting dependency — so a dashboard
+can be archived next to its run directories or attached to a review
+unchanged.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Mapping, Sequence
+
+from repro.analysis.report import (
+    LOWER_IS_BETTER,
+    FleetComparison,
+    MetricStats,
+    format_spec_value,
+)
+
+#: Metrics with stored convergence series (sparkline sources).
+SERIES_METRICS: tuple[str, ...] = ("traffic", "delay", "phi")
+
+#: At most this many per-record polylines are drawn per sparkline cell.
+MAX_SPARK_LINES = 16
+
+_SPARK_W = 220
+_SPARK_H = 48
+_PAD = 3.0
+
+_STYLE = """
+body { font: 14px/1.45 system-ui, sans-serif; color: #1c2733;
+       margin: 2rem auto; max-width: 72rem; padding: 0 1rem; }
+h1 { font-size: 1.35rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.75rem 0; }
+th, td { border: 1px solid #d4dde6; padding: 0.3rem 0.65rem;
+         text-align: right; }
+th, td.key { text-align: left; }
+thead th { background: #eef3f8; }
+td.better { color: #0a7d33; font-weight: 600; }
+td.worse { color: #b02a1a; font-weight: 600; }
+.muted { color: #66788a; }
+svg.spark { background: #f7fafc; border: 1px solid #e2e9f0; }
+svg.spark polyline { fill: none; stroke: #2563a8; stroke-width: 1.2;
+                     opacity: 0.55; }
+"""
+
+
+def _escape(value: object) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def sparkline_svg(
+    series: Sequence[Mapping[str, Sequence[float]]],
+    lo: float,
+    hi: float,
+    width: int = _SPARK_W,
+    height: int = _SPARK_H,
+) -> str:
+    """Inline SVG overlaying one polyline per record series.
+
+    ``series`` holds ``{"t": [...], "v": [...]}`` payloads (the
+    ``downsample_series`` shape stored in records); ``lo``/``hi`` pin
+    the shared value scale so sparklines stay comparable across the
+    runs of one metric row.
+    """
+    polylines: list[str] = []
+    span = hi - lo
+    for payload in series[:MAX_SPARK_LINES]:
+        times = [float(t) for t in payload.get("t", ())]
+        values = [float(v) for v in payload.get("v", ())]
+        if len(times) < 2 or len(times) != len(values):
+            continue
+        t0, t1 = times[0], times[-1]
+        t_span = (t1 - t0) or 1.0
+        points = []
+        for t, v in zip(times, values):
+            x = _PAD + (width - 2 * _PAD) * (t - t0) / t_span
+            y_frac = (v - lo) / span if span > 0 else 0.5
+            y = height - _PAD - (height - 2 * _PAD) * y_frac
+            points.append(f"{x:.1f},{y:.1f}")
+        polylines.append(f'<polyline points="{" ".join(points)}" />')
+    if not polylines:
+        return '<span class="muted">(no series)</span>'
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        + "".join(polylines)
+        + "</svg>"
+    )
+
+
+def _series_payloads(run_records: Sequence[Mapping], metric: str) -> list:
+    payloads = []
+    for record in run_records:
+        series = record.get("series")
+        if isinstance(series, Mapping) and isinstance(
+            series.get(metric), Mapping
+        ):
+            payloads.append(series[metric])
+    return payloads
+
+
+def _series_bounds(per_run: Sequence[list]) -> tuple[float, float]:
+    values = [
+        float(v)
+        for payloads in per_run
+        for payload in payloads
+        for v in payload.get("v", ())
+    ]
+    if not values:
+        return (0.0, 1.0)
+    return (min(values), max(values))
+
+
+def _stats_cell(stats: MetricStats | None) -> str:
+    if stats is None:
+        return '<td class="muted">-</td>'
+    return (
+        f"<td>{stats.mean:.3f} ± {stats.std:.3f}"
+        f'<br/><span class="muted">[{stats.ci_lo:.3f}, '
+        f"{stats.ci_hi:.3f}] · n={stats.count}</span></td>"
+    )
+
+
+def _delta_cell(metric: str, delta: tuple[float, float] | None) -> str:
+    if delta is None:
+        return '<td class="muted">-</td>'
+    absolute, percent = delta
+    improved = (absolute < 0) == LOWER_IS_BETTER.get(metric, True)
+    cls = "better" if improved else "worse"
+    if absolute == 0:
+        cls = ""
+    pct = "n/a" if percent == float("inf") else f"{percent:+.1f}%"
+    cls_attr = f' class="{cls}"' if cls else ""
+    return f"<td{cls_attr}>{absolute:+.3f} ({pct})</td>"
+
+
+def render_html(comparison: FleetComparison, title: str = "") -> str:
+    """Render the comparison as one self-contained HTML document.
+
+    Sections mirror :func:`repro.analysis.report.render_comparison`:
+    run roster, spec diff, metric deltas (improvements tinted by the
+    per-metric direction of :data:`LOWER_IS_BETTER`), plus a sparkline
+    grid of the stored convergence series — every successful record
+    contributes one polyline, sharing a value scale per metric.
+    """
+    runs = comparison.runs
+    title = title or (
+        "fleet comparison: " + " vs ".join(run.label for run in runs)
+    )
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8"/>',
+        f"<title>{_escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{_escape(title)}</h1>",
+        (
+            f'<p class="muted">baseline: {_escape(comparison.baseline.label)}'
+            f" · metrics: {_escape(', '.join(comparison.metrics))}</p>"
+        ),
+    ]
+
+    parts.append("<h2>Runs</h2><table><thead><tr>")
+    parts.append(
+        '<th class="key">run</th><th class="key">directory</th>'
+        "<th>ok</th><th>failed</th></tr></thead><tbody>"
+    )
+    for run in runs:
+        parts.append(
+            f'<tr><td class="key">{_escape(run.label)}</td>'
+            f'<td class="key">{_escape(run.path)}</td>'
+            f"<td>{len(run.ok_records)}</td><td>{run.failed}</td></tr>"
+        )
+    parts.append("</tbody></table>")
+
+    if len(runs) > 1:
+        parts.append("<h2>Spec diff</h2>")
+        if comparison.diff:
+            parts.append("<table><thead><tr>")
+            parts.append('<th class="key">spec field</th>')
+            parts.extend(f"<th>{_escape(run.label)}</th>" for run in runs)
+            parts.append("</tr></thead><tbody>")
+            for path, values in comparison.diff:
+                parts.append(f'<tr><td class="key">{_escape(path)}</td>')
+                parts.extend(
+                    f"<td>{_escape(format_spec_value(v))}</td>"
+                    for v in values
+                )
+                parts.append("</tr>")
+            parts.append("</tbody></table>")
+        else:
+            parts.append('<p class="muted">(identical specs)</p>')
+
+    parts.append("<h2>Metrics</h2><table><thead><tr>")
+    parts.append('<th class="key">metric</th>')
+    for run in runs:
+        parts.append(f"<th>{_escape(run.label)}</th>")
+        if run is not comparison.baseline:
+            parts.append(f"<th>Δ vs {_escape(comparison.baseline.label)}</th>")
+    parts.append("</tr></thead><tbody>")
+    for metric in comparison.metrics:
+        parts.append(f'<tr><td class="key">{_escape(metric)}</td>')
+        for run in runs:
+            parts.append(
+                _stats_cell(comparison.stats.get((run.label, metric)))
+            )
+            if run is not comparison.baseline:
+                parts.append(
+                    _delta_cell(
+                        metric, comparison.delta(run.label, metric)
+                    )
+                )
+        parts.append("</tr>")
+    parts.append("</tbody></table>")
+
+    spark_rows: list[str] = []
+    for metric in SERIES_METRICS:
+        per_run = [
+            _series_payloads(run.ok_records, metric) for run in runs
+        ]
+        if not any(per_run):
+            continue
+        lo, hi = _series_bounds(per_run)
+        cells = "".join(
+            f"<td>{sparkline_svg(payloads, lo, hi)}</td>"
+            for payloads in per_run
+        )
+        spark_rows.append(
+            f'<tr><td class="key">{_escape(metric)}'
+            f'<br/><span class="muted">[{lo:.2f}, {hi:.2f}]</span></td>'
+            f"{cells}</tr>"
+        )
+    if spark_rows:
+        parts.append("<h2>Convergence</h2><table><thead><tr>")
+        parts.append('<th class="key">series</th>')
+        parts.extend(f"<th>{_escape(run.label)}</th>" for run in runs)
+        parts.append("</tr></thead><tbody>")
+        parts.extend(spark_rows)
+        parts.append("</tbody></table>")
+        parts.append(
+            '<p class="muted">one polyline per successful run record '
+            f"(first {MAX_SPARK_LINES} records per cell); "
+            "shared value scale per series row.</p>"
+        )
+
+    parts.append("</body></html>")
+    return "".join(parts) + "\n"

@@ -1,0 +1,708 @@
+"""Cross-fleet comparison reports over ``results.jsonl`` records.
+
+This module is the analysis side of the fleet layer: it defines the
+versioned record schema every producer emits (the orchestrator's
+``results.jsonl`` lines and the experiment runners' ``result_records()``
+share one envelope), loads finished run directories back with a
+forward-compatible loader, reconstructs each run's :class:`RunSpec`,
+computes the *spec diff* across fleets (which knobs varied), joins it
+against metric deltas with bootstrap confidence intervals from
+:mod:`repro.analysis.stats`, and renders the comparison as terminal
+tables and CSV.  The single-file HTML dashboard on top of the same
+comparison object lives in :mod:`repro.analysis.html`.
+
+Record schema
+-------------
+
+Every record is one JSON object with a ``schema_version`` field.  The
+*envelope* fields (identity, status, provenance) are closed: the exact
+list lives in :data:`ENVELOPE_FIELDS` and is documented field-by-field
+in DESIGN.md "Result records" (a round-trip test keeps the two in
+sync).  Fleet records additionally carry the closed metric payload of
+:data:`FLEET_METRIC_FIELDS`; experiment records carry experiment-
+specific scalar metrics instead.  Loading is forward-compatible:
+records without ``schema_version`` are treated as version 0 and
+upgraded in memory, unknown *extra* fields are preserved untouched, and
+records stamped by a newer writer raise :class:`SpecError` instead of
+being silently misread.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from repro.analysis.stats import bootstrap_ci, summarize
+from repro.analysis.tables import render_table
+from repro.errors import SpecError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.fleet.spec import RunSpec
+
+#: Version stamped into every record this tree writes.
+SCHEMA_VERSION = 1
+
+#: Closed envelope shared by fleet and experiment records:
+#: ``name -> (accepted types, required?, provenance)``.
+ENVELOPE_FIELDS: dict[str, tuple[tuple[type, ...], bool, str]] = {
+    "schema_version": ((int,), True, "record format version (this file)"),
+    "name": ((str,), True, "spec / experiment name"),
+    "status": ((str,), True, '"ok" or "error"'),
+    "error": ((str,), False, '"Type: message" when status == "error"'),
+    "run_id": ((str,), False, "content-hash of the resolved spec (fleet)"),
+    "axes": ((dict,), False, "sweep-axis path -> value labels"),
+    "seed": ((int,), False, "resolved simulation seed"),
+    "wall_time_s": ((float, int), False, "worker wall time (nondeterministic)"),
+}
+
+#: Closed metric payload of fleet records (``execute_spec`` provenance).
+FLEET_METRIC_FIELDS: dict[str, tuple[tuple[type, ...], str]] = {
+    "num_agents": ((int,), "compiled conference size"),
+    "num_users": ((int,), "compiled conference size"),
+    "num_sessions": ((int,), "compiled conference size"),
+    "traffic0_mbps": ((float, int), "inter-agent traffic at t=0"),
+    "traffic_mbps": ((float, int), "steady-state mean inter-agent traffic"),
+    "delay0_ms": ((float, int), "average conferencing delay at t=0"),
+    "delay_ms": ((float, int), "steady-state mean conferencing delay"),
+    "phi": ((float, int), "final objective value"),
+    "hops": ((int,), "executed HOP transitions"),
+    "migrations": ((int,), "accepted migrations"),
+    "freezes": ((int,), "FREEZE/UNFREEZE handshakes"),
+    "overhead_kb": ((float, int), "cumulative dual-feed migration overhead"),
+    "series": ((dict,), 'downsampled {"t": [...], "v": [...]} convergence series'),
+}
+
+#: Metrics compared across fleets (``hops_per_sec`` is derived at load).
+REPORT_METRICS: tuple[str, ...] = (
+    "traffic_mbps",
+    "delay_ms",
+    "phi",
+    "hops_per_sec",
+)
+
+#: Metrics aggregated across seed replicates in the summary table.
+SUMMARY_METRICS: tuple[str, ...] = ("traffic_mbps", "delay_ms", "phi")
+
+#: Comparison direction per metric (colors improvements in the dashboard).
+LOWER_IS_BETTER: dict[str, bool] = {
+    "traffic_mbps": True,
+    "delay_ms": True,
+    "phi": True,
+    "hops_per_sec": False,
+}
+
+RESULTS_FILENAME = "results.jsonl"
+SPEC_FILENAME = "spec.yaml"
+
+#: Spec paths excluded from the diff (prose, not behaviour).
+_DIFF_IGNORED = ("description",)
+
+
+# --------------------------------------------------------------------- #
+# Schema: upgrade, validation, record construction                      #
+# --------------------------------------------------------------------- #
+
+
+def upgrade_record(record: object, source: str = "record") -> dict:
+    """Bring one raw record up to :data:`SCHEMA_VERSION` in memory.
+
+    Version-0 records (pre-schema, no ``schema_version`` field) are
+    stamped; ``hops_per_sec`` is derived from ``hops / wall_time_s``
+    when both are present (it is never persisted — wall time is not
+    deterministic).  Records written by a *newer* schema raise
+    :class:`SpecError` so stale readers fail loudly.
+    """
+    if not isinstance(record, dict):
+        raise SpecError(f"{source}: expected a JSON object, got {record!r}")
+    version = record.get("schema_version", 0)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise SpecError(
+            f"{source}: schema_version must be an integer, got {version!r}"
+        )
+    if version > SCHEMA_VERSION:
+        raise SpecError(
+            f"{source}: written by schema version {version}, but this "
+            f"reader understands <= {SCHEMA_VERSION}; upgrade repro to "
+            "read it"
+        )
+    upgraded = dict(record)
+    upgraded["schema_version"] = SCHEMA_VERSION
+    wall = upgraded.get("wall_time_s")
+    hops = upgraded.get("hops")
+    if (
+        "hops_per_sec" not in upgraded
+        and isinstance(hops, int)
+        and isinstance(wall, (int, float))
+        and wall > 0
+    ):
+        upgraded["hops_per_sec"] = float(hops) / float(wall)
+    return upgraded
+
+
+def validate_record(record: Mapping, fleet: bool = False) -> None:
+    """Check one upgraded record against the documented schema.
+
+    Envelope fields must carry their documented types; with ``fleet``
+    the metric payload must also be drawn from
+    :data:`FLEET_METRIC_FIELDS` (plus the derived ``hops_per_sec``).
+    Experiment records may carry any extra scalar metrics instead.
+    """
+    for name, (types, required, _provenance) in ENVELOPE_FIELDS.items():
+        if name not in record:
+            if required:
+                raise SpecError(f"record is missing required field {name!r}")
+            continue
+        value = record[name]
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise SpecError(
+                f"record field {name!r} has type {type(value).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    extras = set(record) - set(ENVELOPE_FIELDS) - {"hops_per_sec"}
+    if fleet:
+        unknown = sorted(extras - set(FLEET_METRIC_FIELDS))
+        if unknown:
+            raise SpecError(
+                f"fleet record carries undocumented field(s) {unknown}; "
+                "document them in DESIGN.md 'Result records' and "
+                "repro.analysis.report.FLEET_METRIC_FIELDS"
+            )
+        for name, (types, _provenance) in FLEET_METRIC_FIELDS.items():
+            if name in record and not isinstance(record[name], types):
+                raise SpecError(
+                    f"fleet record field {name!r} has type "
+                    f"{type(record[name]).__name__}, expected "
+                    f"{'/'.join(t.__name__ for t in types)}"
+                )
+    else:
+        for name in sorted(extras):
+            value = record[name]
+            if value is not None and not isinstance(
+                value, (str, bool, int, float)
+            ):
+                raise SpecError(
+                    f"experiment record metric {name!r} must be a JSON "
+                    f"scalar, got {type(value).__name__}"
+                )
+
+
+def write_records(records: Iterable[Mapping], path: str | Path) -> int:
+    """Write records as JSONL (one sorted-key object per line).
+
+    Returns the number of lines written.  This is the same on-disk shape
+    the fleet orchestrator produces, so experiment exports and fleet
+    results flow through one analysis path.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            # allow_nan=False: a NaN/Infinity that slipped past metric
+            # sanitization fails loudly here instead of persisting a
+            # non-strict JSON literal the documented schema forbids.
+            handle.write(
+                json.dumps(dict(record), sort_keys=True, allow_nan=False)
+                + "\n"
+            )
+            count += 1
+    return count
+
+
+# --------------------------------------------------------------------- #
+# Loading fleet run directories                                         #
+# --------------------------------------------------------------------- #
+
+
+def load_result_records(path: str | Path) -> list[dict]:
+    """Load and upgrade the records of one ``results.jsonl`` file.
+
+    Raises :class:`SpecError` with an actionable diagnostic when the
+    file is missing, empty, or contains no complete record (the
+    signature of an interrupted fleet) instead of surfacing a raw
+    traceback further down the analysis stack.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SpecError(
+            f"no fleet results at {path}; run `repro fleet run` first"
+        )
+    lines = path.read_text(encoding="utf-8").splitlines()
+    records: list[dict] = []
+    torn = 0
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError:
+            torn += 1  # partially-written line from an interrupted run
+            continue
+        records.append(upgrade_record(raw, source=f"{path}:{number}"))
+    if not records:
+        detail = (
+            f"all {torn} line(s) are torn/partial"
+            if torn
+            else "the file is empty"
+        )
+        raise SpecError(
+            f"{path} contains no complete run records ({detail}); the "
+            "fleet run was likely interrupted — re-run `repro fleet run` "
+            "to resume it"
+        )
+    return records
+
+
+@dataclass
+class FleetRun:
+    """One loaded fleet run directory: records plus the stored spec."""
+
+    path: Path
+    label: str
+    spec: "RunSpec | None"
+    records: list[dict]
+
+    @property
+    def ok_records(self) -> list[dict]:
+        """Records of successfully executed units."""
+        return [r for r in self.records if r.get("status") == "ok"]
+
+    @property
+    def failed(self) -> int:
+        """Number of failed units."""
+        return len(self.records) - len(self.ok_records)
+
+
+def load_fleet_run(out_dir: str | Path, label: str = "") -> FleetRun:
+    """Load one fleet run directory (``results.jsonl`` + ``spec.yaml``).
+
+    ``label`` defaults to the directory name.  A missing or unparsable
+    ``spec.yaml`` degrades gracefully (``spec=None`` — the spec diff
+    then marks the run's knobs as unknown); a missing or empty
+    ``results.jsonl`` raises the :func:`load_result_records`
+    diagnostics.
+    """
+    out_dir = Path(out_dir)
+    if not out_dir.exists():
+        raise SpecError(
+            f"fleet run directory {out_dir} does not exist; pass a "
+            "directory produced by `repro fleet run`"
+        )
+    records = load_result_records(out_dir / RESULTS_FILENAME)
+    spec = None
+    spec_path = out_dir / SPEC_FILENAME
+    if spec_path.exists():
+        from repro.fleet.spec import load_spec
+
+        try:
+            spec = load_spec(spec_path)
+        except SpecError:
+            spec = None  # torn spec.yaml: diff falls back to unknowns
+    return FleetRun(
+        path=out_dir,
+        label=label or out_dir.name,
+        spec=spec,
+        records=records,
+    )
+
+
+def load_fleet_runs(dirs: Sequence[str | Path]) -> list[FleetRun]:
+    """Load several run directories, deduplicating display labels."""
+    runs = [load_fleet_run(d) for d in dirs]
+    seen: dict[str, int] = {}
+    for run in runs:
+        count = seen.get(run.label, 0)
+        seen[run.label] = count + 1
+        if count:
+            run.label = f"{run.label}#{count + 1}"
+    return runs
+
+
+# --------------------------------------------------------------------- #
+# Spec diff                                                             #
+# --------------------------------------------------------------------- #
+
+
+def flatten_spec(data: Mapping, prefix: str = "") -> dict[str, object]:
+    """Flatten a spec dict into dotted-path scalars.
+
+    Lists (e.g. ``sweep.axes``) collapse to their compact-JSON form so
+    every leaf is one comparable cell.
+    """
+    flat: dict[str, object] = {}
+    for key, value in data.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            flat.update(flatten_spec(value, path))
+        elif isinstance(value, (list, tuple)):
+            flat[path] = json.dumps(list(value), sort_keys=True)
+        else:
+            flat[path] = value
+    return flat
+
+
+def spec_diff(runs: Sequence[FleetRun]) -> list[tuple[str, list[object]]]:
+    """Spec fields whose values differ across runs.
+
+    Returns ``(dotted path, [value per run])`` rows in spec declaration
+    order; runs without a recoverable spec contribute ``"?"`` cells (and
+    never suppress a difference visible among the others).
+    """
+    flats = [
+        flatten_spec(run.spec.to_dict()) if run.spec is not None else None
+        for run in runs
+    ]
+    paths: list[str] = []
+    for flat in flats:
+        for path in flat or ():
+            if path not in paths:
+                paths.append(path)
+    rows: list[tuple[str, list[object]]] = []
+    for path in paths:
+        if path in _DIFF_IGNORED:
+            continue
+        values = [
+            "?" if flat is None else flat.get(path, "") for flat in flats
+        ]
+        known = [value for value, flat in zip(values, flats) if flat is not None]
+        if len(set(map(str, known))) > 1:
+            rows.append((path, values))
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Metric comparison                                                     #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Aggregate of one metric over one run's successful records."""
+
+    metric: str
+    count: int
+    mean: float
+    std: float
+    ci_lo: float
+    ci_hi: float
+
+
+def metric_stats(records: Sequence[Mapping], metric: str) -> MetricStats | None:
+    """Mean/std/bootstrap-CI of ``metric`` over records that carry it."""
+    values = [
+        float(record[metric])
+        for record in records
+        if isinstance(record.get(metric), (int, float))
+        and not isinstance(record.get(metric), bool)
+    ]
+    if not values:
+        return None
+    stats = summarize(values)
+    lo, hi = bootstrap_ci(values)
+    return MetricStats(
+        metric=metric,
+        count=len(values),
+        mean=stats["mean"],
+        std=stats["std"],
+        ci_lo=lo,
+        ci_hi=hi,
+    )
+
+
+@dataclass
+class FleetComparison:
+    """Spec diff x metric deltas across one or more fleet runs.
+
+    The first run is the baseline: every other run's metric means are
+    reported as absolute and relative deltas against it.  Built by
+    :func:`compare_fleets`; rendered by :func:`render_comparison`,
+    :func:`comparison_csv` and :func:`repro.analysis.html.render_html`.
+    """
+
+    runs: list[FleetRun]
+    metrics: tuple[str, ...]
+    diff: list[tuple[str, list[object]]]
+    #: ``(run label, metric) -> MetricStats`` (absent metric -> None).
+    stats: dict[tuple[str, str], MetricStats | None] = field(
+        default_factory=dict
+    )
+
+    @property
+    def baseline(self) -> FleetRun:
+        """The run every delta is measured against (the first one)."""
+        return self.runs[0]
+
+    def delta(self, label: str, metric: str) -> tuple[float, float] | None:
+        """``(absolute, percent)`` mean delta vs the baseline, or None."""
+        current = self.stats.get((label, metric))
+        base = self.stats.get((self.baseline.label, metric))
+        if current is None or base is None:
+            return None
+        absolute = current.mean - base.mean
+        percent = (
+            100.0 * absolute / abs(base.mean) if base.mean != 0 else float("inf")
+        )
+        return (absolute, percent)
+
+
+def compare_fleets(
+    runs: Sequence[FleetRun],
+    metrics: tuple[str, ...] = REPORT_METRICS,
+) -> FleetComparison:
+    """Build the comparison: spec diff + per-run metric aggregates.
+
+    Every run must contribute at least one successful record — a fleet
+    whose units all failed cannot anchor a delta, so it is rejected with
+    a diagnostic naming the directory.
+    """
+    if not runs:
+        raise SpecError("nothing to compare: no fleet runs given")
+    for run in runs:
+        if not run.ok_records:
+            raise SpecError(
+                f"fleet run {run.label!r} ({run.path}) has no successful "
+                f"records ({run.failed} failed); inspect its "
+                f"{RESULTS_FILENAME} 'error' fields or re-run the fleet"
+            )
+    comparison = FleetComparison(
+        runs=list(runs), metrics=tuple(metrics), diff=spec_diff(runs)
+    )
+    for run in runs:
+        for metric in metrics:
+            comparison.stats[(run.label, metric)] = metric_stats(
+                run.ok_records, metric
+            )
+    return comparison
+
+
+# --------------------------------------------------------------------- #
+# Rendering: terminal + CSV                                             #
+# --------------------------------------------------------------------- #
+
+
+def format_spec_value(value: object) -> str:
+    """Compact display form of one spec-diff cell (400.0 -> "400")."""
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _format_delta(delta: tuple[float, float] | None) -> tuple[str, str]:
+    if delta is None:
+        return ("-", "-")
+    absolute, percent = delta
+    if percent == float("inf"):
+        return (f"{absolute:+.3f}", "n/a")
+    return (f"{absolute:+.3f}", f"{percent:+.1f}%")
+
+
+def render_comparison(comparison: FleetComparison) -> str:
+    """Render the comparison as aligned terminal tables.
+
+    Three sections: the run roster, the spec-diff table (which knobs
+    varied), and the metric table (mean with 95 % bootstrap CI, plus
+    absolute / percent deltas against the baseline run).
+    """
+    runs = comparison.runs
+    lines = [
+        f"comparing {len(runs)} fleet run(s); baseline: "
+        f"{comparison.baseline.label!r}"
+    ]
+    for run in runs:
+        lines.append(
+            f"  {run.label}: {run.path} "
+            f"({len(run.ok_records)} ok / {len(run.records)} runs)"
+        )
+    lines.append("")
+
+    labels = [run.label for run in runs]
+    if len(runs) > 1:
+        if comparison.diff:
+            diff_rows = [
+                [path, *[format_spec_value(v) for v in values]]
+                for path, values in comparison.diff
+            ]
+            lines.append(
+                render_table(
+                    ["spec field", *labels],
+                    diff_rows,
+                    precision=4,
+                    title="spec diff (fields that vary across runs)",
+                )
+            )
+        else:
+            lines.append("spec diff: (identical specs)")
+        lines.append("")
+
+    metric_rows: list[list[object]] = []
+    for metric in comparison.metrics:
+        for run in runs:
+            stats = comparison.stats.get((run.label, metric))
+            if stats is None:
+                metric_rows.append([metric, run.label, 0, "-", "-", "-", "-"])
+                continue
+            delta_abs, delta_pct = (
+                ("-", "-")
+                if run is comparison.baseline
+                else _format_delta(comparison.delta(run.label, metric))
+            )
+            metric_rows.append(
+                [
+                    metric,
+                    run.label,
+                    stats.count,
+                    f"{stats.mean:.3f} ± {stats.std:.3f}",
+                    f"[{stats.ci_lo:.3f}, {stats.ci_hi:.3f}]",
+                    delta_abs,
+                    delta_pct,
+                ]
+            )
+    lines.append(
+        render_table(
+            ["metric", "run", "n", "mean ± std", "95% CI", "Δ", "Δ%"],
+            metric_rows,
+            title=(
+                f"metric deltas vs baseline {comparison.baseline.label!r} "
+                "(bootstrap CI over successful runs)"
+            ),
+        )
+    )
+    return "\n".join(lines)
+
+
+def comparison_csv(comparison: FleetComparison) -> str:
+    """The comparison as CSV: a spec-diff block and a metrics block.
+
+    Blocks are separated by a blank line and introduced by ``# spec
+    diff`` / ``# metrics`` comment lines, each with its own header row —
+    trivially splittable downstream while staying a single artifact.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    labels = [run.label for run in comparison.runs]
+
+    buffer.write("# spec diff\n")
+    writer.writerow(["spec_field", *labels])
+    for path, values in comparison.diff:
+        writer.writerow([path, *[format_spec_value(v) for v in values]])
+
+    buffer.write("\n# metrics\n")
+    writer.writerow(
+        [
+            "metric",
+            "run",
+            "n",
+            "mean",
+            "std",
+            "ci_lo",
+            "ci_hi",
+            "delta",
+            "delta_pct",
+        ]
+    )
+    for metric in comparison.metrics:
+        for run in comparison.runs:
+            stats = comparison.stats.get((run.label, metric))
+            if stats is None:
+                writer.writerow([metric, run.label, 0] + [""] * 6)
+                continue
+            delta = (
+                None
+                if run is comparison.baseline
+                else comparison.delta(run.label, metric)
+            )
+            delta_abs = "" if delta is None else f"{delta[0]:.6g}"
+            delta_pct = (
+                ""
+                if delta is None or delta[1] == float("inf")
+                else f"{delta[1]:.6g}"
+            )
+            writer.writerow(
+                [
+                    metric,
+                    run.label,
+                    stats.count,
+                    f"{stats.mean:.6g}",
+                    f"{stats.std:.6g}",
+                    f"{stats.ci_lo:.6g}",
+                    f"{stats.ci_hi:.6g}",
+                    delta_abs,
+                    delta_pct,
+                ]
+            )
+    return buffer.getvalue()
+
+
+# --------------------------------------------------------------------- #
+# Single-run aggregation (the fleet summary table)                      #
+# --------------------------------------------------------------------- #
+
+
+def aggregate_records(
+    records: list[dict],
+    metrics: tuple[str, ...] = SUMMARY_METRICS,
+    title: str = "fleet summary",
+) -> str:
+    """Aggregate per-run records into an ASCII table.
+
+    Runs are grouped by their sweep-axis values; seed replicates within a
+    group are summarized as ``mean ± std`` via
+    :func:`repro.analysis.stats.summarize`.
+    """
+    ok = [record for record in records if record.get("status") == "ok"]
+    if not ok:
+        return f"{title}\n(no successful runs)"
+    axis_paths: list[str] = []
+    for record in ok:
+        for path in record.get("axes", {}):
+            if path not in axis_paths:
+                axis_paths.append(path)
+
+    groups: dict[tuple, list[dict]] = {}
+    for record in ok:
+        key = tuple(record.get("axes", {}).get(path) for path in axis_paths)
+        groups.setdefault(key, []).append(record)
+
+    def order(value: object) -> tuple:
+        # Numeric axis values sort numerically (200, 400, 1000), the
+        # rest lexicographically after them.
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return (0, float(value), "")
+        return (1, 0.0, str(value))
+
+    headers = axis_paths + ["runs"] + list(metrics)
+    rows = []
+    for key in sorted(groups, key=lambda k: tuple(order(v) for v in k)):
+        group = groups[key]
+        row: list[object] = [
+            "" if value is None else value for value in key
+        ]
+        row.append(len(group))
+        for metric in metrics:
+            values = [
+                record[metric] for record in group if metric in record
+            ]
+            if not values:
+                row.append("-")
+                continue
+            stats = summarize(values)
+            row.append(f"{stats['mean']:.2f} ± {stats['std']:.2f}")
+        rows.append(row)
+    return render_table(headers, rows, precision=3, title=title)
+
+
+def render_run_report(run: FleetRun) -> str:
+    """Single-directory report: record counts plus the summary table."""
+    ok = len(run.ok_records)
+    lines = [
+        f"{len(run.records)} runs recorded ({ok} ok, {run.failed} failed)",
+        "",
+        aggregate_records(
+            run.records, title=f"fleet {run.label!r} summary"
+        ),
+    ]
+    return "\n".join(lines)

@@ -29,6 +29,33 @@ def resample_step(
     return values[idx]
 
 
+def downsample_series(
+    times: np.ndarray,
+    values: np.ndarray,
+    max_points: int = 32,
+) -> dict[str, list[float]]:
+    """Step-resample a series onto at most ``max_points`` and return a
+    JSON-safe ``{"t": [...], "v": [...]}`` payload.
+
+    This is the shape persisted in ``results.jsonl`` records (see
+    :mod:`repro.analysis.report`) and rendered as dashboard sparklines;
+    values are rounded so record files stay compact.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if max_points < 2:
+        raise ExperimentError(f"max_points must be >= 2, got {max_points}")
+    if times.size <= max_points:
+        grid = times
+    else:
+        grid = np.linspace(times[0], times[-1], max_points)
+    sampled = resample_step(times, values, grid)
+    return {
+        "t": [round(float(t), 3) for t in grid],
+        "v": [round(float(v), 5) for v in sampled],
+    }
+
+
 def moving_average(values: np.ndarray, window: int) -> np.ndarray:
     """Centered moving average with edge shrinkage (for plotting noisy
     trajectories; never used in reported numbers)."""

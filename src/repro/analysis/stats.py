@@ -73,3 +73,35 @@ def summarize(values: np.ndarray | list[float]) -> dict[str, float]:
         "min": float(data.min()),
         "max": float(data.max()),
     }
+
+
+def bootstrap_ci(
+    values: np.ndarray | list[float],
+    confidence: float = 0.95,
+    n_boot: int = 1000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval of the sample mean.
+
+    Resamples the data with replacement ``n_boot`` times and returns the
+    ``(lo, hi)`` quantiles of the resampled means at the requested
+    ``confidence`` level.  Deterministic under ``seed``; a single-value
+    sample degenerates to ``(value, value)``.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ExperimentError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ExperimentError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if n_boot < 1:
+        raise ExperimentError(f"n_boot must be >= 1, got {n_boot}")
+    if data.size == 1:
+        return (float(data[0]), float(data[0]))
+    rng = np.random.default_rng(seed)
+    index = rng.integers(0, data.size, size=(n_boot, data.size))
+    means = data[index].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return (float(lo), float(hi))

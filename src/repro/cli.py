@@ -6,12 +6,15 @@ Examples::
     repro run fig4
     repro run table2 --scenarios 100
     repro run fig7 --csv out/fig7.csv
+    repro run fig4 --jsonl out/fig4.jsonl
 
     repro fleet list
     repro fleet run prototype_smoke --workers 2
     repro fleet run my_spec.yaml --out runs/my_spec
     repro fleet sweep beta_locality --axis solver.beta=200,400 --replicates 3
     repro fleet report fleet_runs/prototype_smoke
+    repro fleet report runs/base --compare runs/beta200 --csv cmp.csv
+    repro fleet report --compare runs/base runs/beta200 --html cmp.html
 """
 
 from __future__ import annotations
@@ -55,6 +58,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--csv",
         default="",
         help="also write raw series rows to this CSV file (figures only)",
+    )
+    run.add_argument(
+        "--jsonl",
+        default="",
+        metavar="PATH",
+        help="also write the result as schema-versioned JSONL records "
+        "(the fleet results.jsonl shape; see DESIGN.md 'Result records')",
     )
 
     fleet = subparsers.add_parser(
@@ -118,10 +128,42 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     fleet_report = fleet_sub.add_parser(
-        "report", help="re-aggregate a finished fleet run directory"
+        "report",
+        help="re-aggregate finished fleet run directories; with several "
+        "directories, render a spec-diff x metric-delta comparison",
     )
-    fleet_report.add_argument("out_dir", help="directory holding results.jsonl")
+    fleet_report.add_argument(
+        "out_dir",
+        nargs="*",
+        help="directories holding results.jsonl (first = baseline)",
+    )
+    fleet_report.add_argument(
+        "--compare",
+        dest="compare",
+        nargs="+",
+        default=[],
+        metavar="DIR",
+        help="additional run directories to compare against the baseline",
+    )
+    fleet_report.add_argument(
+        "--csv",
+        default="",
+        metavar="PATH",
+        help="write the spec-diff + metric-delta comparison as CSV",
+    )
+    fleet_report.add_argument(
+        "--html",
+        default="",
+        metavar="PATH",
+        help="write a self-contained HTML dashboard (inline SVG sparklines)",
+    )
     return parser
+
+
+def _collect_result_records(result: object) -> list[dict]:
+    """Schema-versioned records of an experiment result (if it emits any)."""
+    emit = getattr(result, "result_records", None)
+    return emit() if callable(emit) else []
 
 
 def _collect_csv_rows(result: object) -> list[str]:
@@ -218,13 +260,41 @@ def _run_fleet(args: argparse.Namespace) -> int:
 
 
 def _report_fleet(args: argparse.Namespace) -> int:
-    from repro.fleet.orchestrator import aggregate_records, load_records
+    from repro.analysis.report import (
+        compare_fleets,
+        comparison_csv,
+        load_fleet_runs,
+        render_comparison,
+        render_run_report,
+    )
 
-    records = load_records(args.out_dir)
-    ok = sum(1 for record in records if record.get("status") == "ok")
-    print(f"{len(records)} runs recorded ({ok} ok, {len(records) - ok} failed)")
-    print()
-    print(aggregate_records(records))
+    dirs = list(args.out_dir) + list(args.compare)
+    if not dirs:
+        raise SpecError(
+            "fleet report needs at least one run directory "
+            "(positional or via --compare)"
+        )
+    runs = load_fleet_runs(dirs)
+    if len(runs) == 1:
+        # A lone directory always gets its text report (even when every
+        # unit failed); the CSV/HTML artifacts need successful records,
+        # so requesting them for an all-failed run raises the
+        # compare_fleets diagnostic below instead of silently emitting
+        # empty artifacts.
+        print(render_run_report(runs[0]))
+        if not (args.csv or args.html):
+            return 0
+    comparison = compare_fleets(runs)
+    if len(runs) > 1:
+        print(render_comparison(comparison))
+    if args.csv:
+        Path(args.csv).write_text(comparison_csv(comparison), encoding="utf-8")
+        print(f"wrote comparison CSV to {args.csv}")
+    if args.html:
+        from repro.analysis.html import render_html
+
+        Path(args.html).write_text(render_html(comparison), encoding="utf-8")
+        print(f"wrote HTML dashboard to {args.html}")
     return 0
 
 
@@ -293,6 +363,18 @@ def _dispatch(argv: Sequence[str] | None) -> int:
             print(f"\nwrote {len(rows)} series rows to {args.csv}")
         else:
             print("\n(no series data to export for this experiment)")
+
+    if args.jsonl:
+        records = _collect_result_records(result)
+        if records:
+            from repro.analysis.report import validate_record, write_records
+
+            for record in records:
+                validate_record(record)  # corrupt records never reach disk
+            count = write_records(records, args.jsonl)
+            print(f"\nwrote {count} result records to {args.jsonl}")
+        else:
+            print("\n(no result records to export for this experiment)")
     return 0
 
 

@@ -1,9 +1,12 @@
-"""Shared experiment plumbing: result containers and scale control."""
+"""Shared experiment plumbing: result containers, scale control, and the
+schema-versioned result-record shape shared with the fleet layer."""
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
@@ -77,6 +80,64 @@ class SeriesBundle:
                 for t, v in zip(times, values)
             )
         return rows
+
+
+def _record_scalar(value: object, key: str) -> object:
+    """Coerce one metric value to a JSON-safe scalar.
+
+    Non-finite floats (``nan``/``inf``) become ``None`` — strict JSON
+    has no literal for them and the schema documents metrics as
+    nullable; anything non-scalar is a programming error.
+    """
+    if isinstance(value, bool) or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        return float(value) if math.isfinite(value) else None
+    if value is None:
+        return None
+    raise ExperimentError(
+        f"result-record metric {key!r} must be a JSON scalar, "
+        f"got {type(value).__name__}"
+    )
+
+
+def result_record(
+    name: str,
+    metrics: Mapping[str, object],
+    *,
+    seed: int | None = None,
+    axes: Mapping[str, object] | None = None,
+) -> dict:
+    """One result record in the fleet ``results.jsonl`` envelope.
+
+    Experiment runners emit these from ``result_records()`` (exported by
+    ``repro run <id> --jsonl``) so paper figures and fleet sweeps share
+    one analysis path; the envelope fields and schema version live in
+    :mod:`repro.analysis.report` and are documented in DESIGN.md
+    "Result records".
+    """
+    from repro.analysis.report import ENVELOPE_FIELDS, SCHEMA_VERSION
+
+    record: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "name": str(name),
+        "status": "ok",
+    }
+    if seed is not None:
+        record["seed"] = int(seed)
+    if axes:
+        record["axes"] = {
+            str(key): _record_scalar(value, f"axes.{key}")
+            for key, value in axes.items()
+        }
+    for key, value in metrics.items():
+        if str(key) in ENVELOPE_FIELDS:
+            raise ExperimentError(
+                f"metric name {key!r} collides with a record envelope "
+                "field; rename the metric"
+            )
+        record[str(key)] = _record_scalar(value, str(key))
+    return record
 
 
 def percent_change(baseline: float, value: float) -> float:

@@ -19,7 +19,7 @@ from repro.analysis.tables import render_table
 from repro.core.agrank import AgRankConfig
 from repro.core.bootstrap import bootstrap_assignment
 from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
-from repro.experiments.common import scenarios_from_env
+from repro.experiments.common import result_record, scenarios_from_env
 from repro.workloads.scenarios import ScenarioParams, scenario_conference
 
 
@@ -37,6 +37,21 @@ class Fig10Result:
                 "delay (ms)": self.points[n][1],
             }
             for n in sorted(self.points)
+        ]
+
+    def result_records(self) -> list[dict]:
+        """Schema-versioned records: one per candidate-pool size."""
+        return [
+            result_record(
+                "fig10",
+                {
+                    "traffic_mbps": row["traffic (Mbps)"],
+                    "delay_ms": row["delay (ms)"],
+                    "scenarios": self.num_scenarios,
+                },
+                axes={"solver.n_ngbr": row["n_ngbr"]},
+            )
+            for row in self.rows()
         ]
 
     def format_report(self) -> str:

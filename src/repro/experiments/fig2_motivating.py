@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.analysis.tables import render_table
 from repro.core.delay import session_delay_cost
+from repro.experiments.common import result_record
 from repro.core.exact import solve_exact
 from repro.core.nearest import nearest_assignment
 from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
@@ -33,6 +34,31 @@ class Fig2Result:
     to_transcode_ms: float
     optimal_traffic: float
     optimal_delay_cost: float
+
+    def result_records(self) -> list[dict]:
+        """Schema-versioned records: one per candidate assignment."""
+        records = [
+            result_record(
+                "fig2",
+                {
+                    "traffic_mbps": row["traffic (Mbps)"],
+                    "delay_cost_ms": row["delay cost F (ms)"],
+                },
+                axes={"assignment": row["assignment of user 4"]},
+            )
+            for row in self.rows
+        ]
+        records.append(
+            result_record(
+                "fig2",
+                {
+                    "traffic_mbps": self.optimal_traffic,
+                    "delay_cost_ms": self.optimal_delay_cost,
+                },
+                axes={"assignment": "exact optimum"},
+            )
+        )
+        return records
 
     def format_report(self) -> str:
         table = render_table(

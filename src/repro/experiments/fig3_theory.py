@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.analysis.tables import render_table
 from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.experiments.common import result_record
 from repro.core.theory import (
     build_state_space,
     eq10_bounds,
@@ -60,6 +61,17 @@ class Fig3Result:
              "target": self.eq12_bound},
             {"check": "Eq.13 gap (perturbed)", "value": self.eq13_gap,
              "target": self.eq13_bound_value},
+        ]
+
+    def result_records(self) -> list[dict]:
+        """Schema-versioned records: one per theory check."""
+        return [
+            result_record(
+                "fig3",
+                {"value": row["value"], "target": row["target"]},
+                axes={"check": row["check"], "solver.beta": self.beta},
+            )
+            for row in self.rows()
         ]
 
     def format_report(self) -> str:

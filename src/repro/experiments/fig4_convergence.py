@@ -15,7 +15,7 @@ from repro.analysis.convergence import convergence_time
 from repro.analysis.tables import render_table
 from repro.core.markov import MarkovConfig
 from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
-from repro.experiments.common import SeriesBundle, effective_beta
+from repro.experiments.common import SeriesBundle, effective_beta, result_record
 from repro.runtime.dynamics import DynamicsSchedule
 from repro.runtime.simulation import (
     ConferencingSimulator,
@@ -49,6 +49,24 @@ class Fig4Result:
                 }
             )
         return rows
+
+    def result_records(self) -> list[dict]:
+        """Schema-versioned records: one per beta trajectory."""
+        return [
+            result_record(
+                "fig4",
+                {
+                    "traffic0_mbps": row["traffic0 (Mbps)"],
+                    "traffic_mbps": row["traffic_ss (Mbps)"],
+                    "delay0_ms": row["delay0 (ms)"],
+                    "delay_ms": row["delay_ss (ms)"],
+                    "t_conv_s": row["t_conv (s)"],
+                    "migrations": row["migrations"],
+                },
+                axes={"solver.beta": row["beta"]},
+            )
+            for row in self.summary_rows()
+        ]
 
     def format_report(self) -> str:
         headers = [

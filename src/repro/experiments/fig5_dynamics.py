@@ -15,7 +15,7 @@ from repro.analysis.tables import render_table
 from repro.core.markov import MarkovConfig
 from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
 from repro.errors import ExperimentError
-from repro.experiments.common import SeriesBundle, effective_beta
+from repro.experiments.common import SeriesBundle, effective_beta, result_record
 from repro.runtime.dynamics import DynamicsSchedule
 from repro.runtime.simulation import (
     ConferencingSimulator,
@@ -70,6 +70,23 @@ class Fig5Result:
                 }
             )
         return rows
+
+    def result_records(self) -> list[dict]:
+        """Schema-versioned records: one per churn phase."""
+        return [
+            result_record(
+                "fig5",
+                {
+                    "traffic0_mbps": row["traffic@start"],
+                    "traffic_mbps": row["traffic@end"],
+                    "delay0_ms": row["delay@start"],
+                    "delay_ms": row["delay@end"],
+                    "sessions": row["sessions"],
+                },
+                axes={"phase": row["phase"]},
+            )
+            for row in self.phase_rows()
+        ]
 
     def format_report(self) -> str:
         return render_table(

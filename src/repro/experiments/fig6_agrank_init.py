@@ -14,7 +14,12 @@ from repro.analysis.tables import render_table
 from repro.core.agrank import AgRankConfig
 from repro.core.markov import MarkovConfig
 from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
-from repro.experiments.common import SeriesBundle, effective_beta, percent_change
+from repro.experiments.common import (
+    SeriesBundle,
+    effective_beta,
+    percent_change,
+    result_record,
+)
 from repro.experiments.fig4_convergence import run_fig4
 from repro.runtime.dynamics import DynamicsSchedule
 from repro.runtime.simulation import (
@@ -59,6 +64,32 @@ class Fig6Result:
                 "Nrst": float("nan"),
                 "change (%)": float("nan"),
             },
+        ]
+
+    def result_records(self) -> list[dict]:
+        """Schema-versioned records: one per bootstrap policy."""
+        _, traffic = self.bundle.get("traffic")
+        _, delay = self.bundle.get("delay")
+        return [
+            result_record(
+                "fig6",
+                {
+                    "traffic0_mbps": float(traffic[0]),
+                    "traffic_mbps": self.simulation.steady_state_mean(
+                        "traffic"
+                    ),
+                    "delay0_ms": float(delay[0]),
+                },
+                axes={"solver.policy": "agrank"},
+            ),
+            result_record(
+                "fig6",
+                {
+                    "traffic0_mbps": self.nrst_initial_traffic,
+                    "traffic_mbps": self.nrst_200s_traffic,
+                },
+                axes={"solver.policy": "nearest"},
+            ),
         ]
 
     def format_report(self) -> str:

@@ -17,7 +17,7 @@ from repro.analysis.tables import render_table
 from repro.core.markov import MarkovConfig
 from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
 from repro.errors import ExperimentError
-from repro.experiments.common import SeriesBundle, effective_beta
+from repro.experiments.common import SeriesBundle, effective_beta, result_record
 from repro.runtime.dynamics import DynamicsSchedule
 from repro.runtime.simulation import (
     ConferencingSimulator,
@@ -52,6 +52,25 @@ class Fig7Result:
                 }
             )
         return rows
+
+    def result_records(self) -> list[dict]:
+        """Schema-versioned records: one per tracked session."""
+        return [
+            result_record(
+                "fig7",
+                {
+                    "users": row["users"],
+                    "traffic0_mbps": row["traffic0 (Mbps)"],
+                    "traffic_mbps": row["traffic_end (Mbps)"],
+                    "traffic_min_mbps": row["min traffic (Mbps)"],
+                    "delay0_ms": row["delay0 (ms)"],
+                    "delay_ms": row["delay_end (ms)"],
+                    "regressions": row["worse-then-recover"],
+                },
+                axes={"session": row["session"]},
+            )
+            for row in self.summary_rows()
+        ]
 
     def format_report(self) -> str:
         return render_table(

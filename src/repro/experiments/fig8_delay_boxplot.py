@@ -19,7 +19,7 @@ from repro.experiments.alpha_sweep import (
     delays_of,
     run_alpha_sweep,
 )
-from repro.experiments.common import scenarios_from_env
+from repro.experiments.common import result_record, scenarios_from_env
 from repro.workloads.scenarios import ScenarioParams
 
 _COLUMNS = ("init",) + tuple(label for label, *_ in ALPHA_CONFIGS)
@@ -45,6 +45,21 @@ class Fig8Result:
             row.update(box.row())
             rows.append(row)
         return rows
+
+    def result_records(self) -> list[dict]:
+        """Schema-versioned records: one per (policy, alpha mix) box."""
+        records = []
+        for (policy, column), box in sorted(self.boxes.items()):
+            metrics: dict[str, object] = {"scenarios": box.count}
+            metrics.update(box.row())
+            records.append(
+                result_record(
+                    "fig8",
+                    metrics,
+                    axes={"solver.policy": policy, "alpha": column},
+                )
+            )
+        return records
 
     def format_report(self) -> str:
         parts = []

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from repro.analysis.tables import render_table
 from repro.core.agrank import AgRankConfig
 from repro.core.bootstrap import try_bootstrap
-from repro.experiments.common import scenarios_from_env
+from repro.experiments.common import result_record, scenarios_from_env
 from repro.workloads.scenarios import ScenarioParams, scenario_conference
 
 #: Sweep grids.  The paper sweeps 400-900 Mbps and 20-60 slots; our
@@ -63,6 +63,26 @@ class Fig9Result:
             row.update(self.rates[panel][capacity])
             rows.append(row)
         return rows
+
+    def result_records(self) -> list[dict]:
+        """Schema-versioned records: one per (panel, capacity) grid point."""
+        records = []
+        for panel in sorted(self.rates):
+            for capacity in sorted(self.rates[panel]):
+                metrics = {
+                    "success_pct_"
+                    + label.lower().replace("#", ""): rate
+                    for label, rate in self.rates[panel][capacity].items()
+                }
+                metrics["scenarios"] = self.num_scenarios
+                records.append(
+                    result_record(
+                        "fig9",
+                        metrics,
+                        axes={"panel": panel, "capacity": capacity},
+                    )
+                )
+        return records
 
     def format_report(self) -> str:
         labels = [label for label, *_ in POLICY_VARIANTS]

@@ -18,7 +18,7 @@ from repro.analysis.tables import render_table
 from repro.core.markov import MarkovAssignmentSolver, MarkovConfig
 from repro.core.nearest import nearest_assignment
 from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
-from repro.experiments.common import effective_beta
+from repro.experiments.common import effective_beta, result_record
 from repro.netsim.noise import QuantizedPerturbation
 from repro.workloads.prototype import prototype_conference
 
@@ -42,6 +42,22 @@ class NoiseRobustnessResult:
                 "degradation vs clean (%)": 100.0 * (values[0] / self.clean_phi - 1.0),
             }
             for delta, values in sorted(self.points.items())
+        ]
+
+    def result_records(self) -> list[dict]:
+        """Schema-versioned records: one per noise bound Delta."""
+        return [
+            result_record(
+                "noise",
+                {
+                    "phi": row["best phi"],
+                    "traffic_mbps": row["traffic (Mbps)"],
+                    "delay_ms": row["delay (ms)"],
+                    "degradation_pct": row["degradation vs clean (%)"],
+                },
+                axes={"noise.delta": row["Delta"]},
+            )
+            for row in self.rows()
         ]
 
     def format_report(self) -> str:

@@ -29,7 +29,7 @@ from repro.experiments.alpha_sweep import (
     aggregate,
     run_alpha_sweep,
 )
-from repro.experiments.common import scenarios_from_env
+from repro.experiments.common import result_record, scenarios_from_env
 from repro.workloads.scenarios import ScenarioParams
 
 #: Paper's Table II means, for side-by-side comparison in reports.
@@ -82,6 +82,23 @@ class Table2Result:
                     row[column] = self.cells[(policy, column)][index]
                 rows.append(row)
         return rows
+
+    def result_records(self) -> list[dict]:
+        """Schema-versioned records: one per (policy, alpha mix) cell."""
+        return [
+            result_record(
+                "table2",
+                {
+                    "traffic_mbps": traffic,
+                    "delay_ms": delay,
+                    "scenarios": self.num_scenarios,
+                },
+                axes={"solver.policy": policy, "alpha": column},
+            )
+            for (policy, column), (traffic, delay) in sorted(
+                self.cells.items()
+            )
+        ]
 
     def format_report(self) -> str:
         table = render_table(

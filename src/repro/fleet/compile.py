@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.analysis.report import SCHEMA_VERSION
+from repro.analysis.series import downsample_series
 from repro.core.agrank import AgRankConfig
 from repro.core.markov import MarkovConfig
 from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
@@ -56,6 +58,7 @@ class CompiledRun:
     noise: NoiseModel | None
 
     def simulator(self) -> ConferencingSimulator:
+        """A fresh simulator bound to this run's compiled objects."""
         return ConferencingSimulator(
             self.evaluator, self.schedule, self.config, noise=self.noise
         )
@@ -188,16 +191,25 @@ def compile_spec(spec: RunSpec) -> CompiledRun:
     )
 
 
+#: Recorded convergence series and their downsampled length (the
+#: ``series`` record field rendered as dashboard sparklines).
+RECORD_SERIES: tuple[str, ...] = ("traffic", "delay", "phi")
+RECORD_SERIES_POINTS = 32
+
+
 def execute_spec(spec: RunSpec) -> dict:
     """Compile + simulate one spec and return a flat metrics record.
 
     The record is JSON-safe (plain floats/ints/strings) so the
-    orchestrator can persist it as one JSONL line.
+    orchestrator can persist it as one JSONL line; its shape is the
+    versioned schema of :mod:`repro.analysis.report` (documented in
+    DESIGN.md "Result records").
     """
     compiled = compile_spec(spec)
     simulation: SimulationResult = compiled.simulator().run()
     conference = compiled.conference
     record: dict = {
+        "schema_version": SCHEMA_VERSION,
         "name": spec.name,
         "seed": spec.simulation.seed,
         "num_agents": conference.num_agents,
@@ -212,6 +224,12 @@ def execute_spec(spec: RunSpec) -> dict:
         "migrations": len(simulation.migrations),
         "freezes": simulation.freezes,
         "overhead_kb": simulation.total_overhead_kb,
+        "series": {
+            name: downsample_series(
+                *simulation.series(name), max_points=RECORD_SERIES_POINTS
+            )
+            for name in RECORD_SERIES
+        },
     }
     return {
         key: (float(value) if isinstance(value, float) else value)

@@ -19,18 +19,28 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.stats import summarize
-from repro.analysis.tables import render_table
+from repro.analysis.report import (
+    RESULTS_FILENAME,
+    SCHEMA_VERSION,
+    SPEC_FILENAME,
+    SUMMARY_METRICS,
+    aggregate_records,
+)
 from repro.errors import SpecError
 from repro.fleet.compile import execute_spec
 from repro.fleet.spec import RunSpec, spec_hash
 
-#: Metrics aggregated across seed replicates in the summary table.
-SUMMARY_METRICS: tuple[str, ...] = ("traffic_mbps", "delay_ms", "phi")
+__all__ = [
+    "FleetOrchestrator",
+    "FleetResult",
+    "RunUnit",
+    "SUMMARY_METRICS",
+    "aggregate_records",
+    "expand_matrix",
+    "load_records",
+]
 
-RESULTS_FILENAME = "results.jsonl"
 SUMMARY_FILENAME = "summary.txt"
-SPEC_FILENAME = "spec.yaml"
 
 
 @dataclass(frozen=True)
@@ -83,7 +93,12 @@ def _execute_payload(payload: tuple[str, dict, dict, int]) -> dict:
         record = execute_spec(RunSpec.from_dict(spec_dict))
         record["status"] = "ok"
     except Exception as error:  # noqa: BLE001 - one bad unit must not sink the fleet
-        record = {"status": "error", "error": f"{type(error).__name__}: {error}"}
+        record = {
+            "schema_version": SCHEMA_VERSION,
+            "name": str(spec_dict.get("name", "")),
+            "status": "error",
+            "error": f"{type(error).__name__}: {error}",
+        }
     record["run_id"] = run_id
     record["axes"] = axes
     record["seed"] = seed
@@ -104,14 +119,22 @@ class FleetResult:
 
     @property
     def results_path(self) -> Path:
+        """Path of the per-run JSONL record file."""
         return self.out_dir / RESULTS_FILENAME
 
     def summary_table(self) -> str:
+        """Aggregate summary table (axes x ``mean ± std`` metrics)."""
         return aggregate_records(
             self.records, title=f"fleet {self.spec.name!r} summary"
         )
 
     def format_report(self) -> str:
+        """Human-readable run report: counts, result path, summary.
+
+        Rendering delegates to :mod:`repro.analysis.report` so fleet
+        runs, re-loaded directories (``repro fleet report``) and
+        experiment exports share one analysis path.
+        """
         lines = [
             f"fleet {self.spec.name!r}: {len(self.records)} runs "
             f"({self.executed} executed, {self.skipped} cached, "
@@ -260,7 +283,13 @@ class FleetOrchestrator:
 
 
 def load_records(out_dir: str | Path) -> list[dict]:
-    """Read back the per-run JSONL records of a finished fleet run."""
+    """Read back the raw per-run JSONL records of a finished fleet run.
+
+    Torn trailing lines from an interrupted run are skipped and records
+    are returned exactly as persisted (no schema upgrade); use
+    :func:`repro.analysis.report.load_fleet_run` for the
+    forward-compatible, diagnostic-rich loader the report CLI uses.
+    """
     path = Path(out_dir) / RESULTS_FILENAME
     if not path.exists():
         raise SpecError(f"no fleet results at {path}")
@@ -273,56 +302,3 @@ def load_records(out_dir: str | Path) -> list[dict]:
         except json.JSONDecodeError:
             continue  # torn trailing line from an interrupted run
     return records
-
-
-def aggregate_records(
-    records: list[dict],
-    metrics: tuple[str, ...] = SUMMARY_METRICS,
-    title: str = "fleet summary",
-) -> str:
-    """Aggregate per-run records into an ASCII table.
-
-    Runs are grouped by their sweep-axis values; seed replicates within a
-    group are summarized as ``mean ± std`` via
-    :func:`repro.analysis.stats.summarize`.
-    """
-    ok = [record for record in records if record.get("status") == "ok"]
-    if not ok:
-        return f"{title}\n(no successful runs)"
-    axis_paths: list[str] = []
-    for record in ok:
-        for path in record.get("axes", {}):
-            if path not in axis_paths:
-                axis_paths.append(path)
-
-    groups: dict[tuple, list[dict]] = {}
-    for record in ok:
-        key = tuple(record.get("axes", {}).get(path) for path in axis_paths)
-        groups.setdefault(key, []).append(record)
-
-    def order(value: object) -> tuple:
-        # Numeric axis values sort numerically (200, 400, 1000), the
-        # rest lexicographically after them.
-        if isinstance(value, (int, float)) and not isinstance(value, bool):
-            return (0, float(value), "")
-        return (1, 0.0, str(value))
-
-    headers = axis_paths + ["runs"] + list(metrics)
-    rows = []
-    for key in sorted(groups, key=lambda k: tuple(order(v) for v in k)):
-        group = groups[key]
-        row: list[object] = [
-            "" if value is None else value for value in key
-        ]
-        row.append(len(group))
-        for metric in metrics:
-            values = [
-                record[metric] for record in group if metric in record
-            ]
-            if not values:
-                row.append("-")
-                continue
-            stats = summarize(values)
-            row.append(f"{stats['mean']:.2f} ± {stats['std']:.2f}")
-        rows.append(row)
-    return render_table(headers, rows, precision=3, title=title)

@@ -580,10 +580,12 @@ class RunSpec:
         return _spec_from_mapping(cls, data, path)
 
     def to_yaml(self) -> str:
+        """Serialize as YAML (section order preserved)."""
         return yaml.safe_dump(self.to_dict(), sort_keys=False)
 
     @classmethod
     def from_yaml(cls, text: str) -> "RunSpec":
+        """Parse and validate a YAML spec document."""
         try:
             data = yaml.safe_load(text)
         except yaml.YAMLError as error:
@@ -591,10 +593,12 @@ class RunSpec:
         return cls.from_dict(data)
 
     def to_json(self, indent: int | None = None) -> str:
+        """Serialize as JSON (``inf`` encoded as the string ``"inf"``)."""
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "RunSpec":
+        """Parse and validate a JSON spec document."""
         try:
             data = json.loads(text)
         except json.JSONDecodeError as error:

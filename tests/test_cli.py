@@ -198,6 +198,91 @@ simulation:
         assert main(["fleet", "run", str(tmp_path)]) == 2
         assert "neither a spec file nor a library spec" in capsys.readouterr().err
 
+    def _run_small_fleet(self, tmp_path, name, *overrides):
+        out_dir = tmp_path / name
+        argv = [
+            "fleet",
+            "run",
+            "prototype_smoke",
+            "--out",
+            str(out_dir),
+            "--set",
+            "simulation.duration_s=8",
+            "--set",
+            "workload.num_sessions=2",
+        ]
+        for override in overrides:
+            argv += ["--set", override]
+        assert main(argv) == 0
+        return out_dir
+
+    def test_fleet_report_compare_emits_all_artifacts(self, tmp_path, capsys):
+        base = self._run_small_fleet(tmp_path, "base")
+        b200 = self._run_small_fleet(tmp_path, "beta200", "solver.beta=200")
+        capsys.readouterr()
+        csv_path = tmp_path / "cmp.csv"
+        html_path = tmp_path / "cmp.html"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "report",
+                    str(base),
+                    "--compare",
+                    str(b200),
+                    "--csv",
+                    str(csv_path),
+                    "--html",
+                    str(html_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "spec diff" in out and "solver.beta" in out
+        assert "metric deltas vs baseline 'base'" in out
+        assert "solver.beta,400,200" in csv_path.read_text()
+        html_text = html_path.read_text()
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<svg" in html_text
+
+    def test_fleet_report_without_dirs_errors(self, capsys):
+        assert main(["fleet", "report"]) == 2
+        assert "at least one run directory" in capsys.readouterr().err
+
+    def test_fleet_report_empty_results_diagnostic(self, tmp_path, capsys):
+        """Regression: an interrupted fleet (empty or torn-only
+        results.jsonl) gets a clear diagnostic, not a traceback."""
+        out_dir = tmp_path / "interrupted"
+        out_dir.mkdir()
+        (out_dir / "results.jsonl").write_text("", encoding="utf-8")
+        assert main(["fleet", "report", str(out_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "no complete run records" in err and "interrupted" in err
+
+        (out_dir / "results.jsonl").write_text('{"status": "o', "utf-8")
+        assert main(["fleet", "report", str(out_dir)]) == 2
+        assert "torn" in capsys.readouterr().err
+
+    def test_fleet_report_missing_dir_diagnostic(self, tmp_path, capsys):
+        assert main(["fleet", "report", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_run_jsonl_export(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "fig2.jsonl"
+        assert main(["run", "fig2", "--jsonl", str(target)]) == 0
+        assert "result records" in capsys.readouterr().out
+        records = [
+            json.loads(line)
+            for line in target.read_text().strip().splitlines()
+        ]
+        assert records and all(
+            record["schema_version"] >= 1 and record["status"] == "ok"
+            for record in records
+        )
+
     def test_fleet_local_file_cannot_shadow_library_name(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)
         (tmp_path / "prototype_smoke").mkdir()  # stray dir with a spec's name

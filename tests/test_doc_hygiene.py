@@ -1,0 +1,103 @@
+"""Docstring hygiene for the public `repro.fleet` and `repro.analysis`
+API: every module, exported name, public function/class, and public
+method/property must carry a real docstring (a dataclass's
+auto-generated signature doc does not count)."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro.analysis
+import repro.fleet
+
+PACKAGES = (repro.fleet, repro.analysis)
+
+
+def _modules():
+    for package in PACKAGES:
+        yield package
+        for info in pkgutil.iter_modules(
+            package.__path__, prefix=package.__name__ + "."
+        ):
+            yield importlib.import_module(info.name)
+
+
+MODULES = list(_modules())
+
+
+def _has_real_doc(obj, name: str) -> bool:
+    doc = inspect.getdoc(obj)
+    if not doc or not doc.strip():
+        return False
+    # Dataclasses synthesize "Name(field, ...)" when no docstring is
+    # written; treat that as missing.
+    return not doc.startswith(f"{name}(")
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented where it is defined
+        yield name, obj
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module.__name__} is missing a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_functions_and_classes_documented(module):
+    missing = [
+        name
+        for name, obj in _public_members(module)
+        if not _has_real_doc(obj, name)
+    ]
+    assert not missing, (
+        f"{module.__name__}: missing docstrings on {missing}"
+    )
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_methods_documented(module):
+    missing = []
+    for cls_name, cls in _public_members(module):
+        if not inspect.isclass(cls):
+            continue
+        for name, member in vars(cls).items():
+            if name.startswith("_"):
+                continue
+            if isinstance(member, property):
+                target = member.fget
+            elif inspect.isfunction(member) or isinstance(
+                member, (classmethod, staticmethod)
+            ):
+                target = getattr(member, "__func__", member)
+            else:
+                continue
+            if not _has_real_doc(target, name):
+                missing.append(f"{cls_name}.{name}")
+    assert not missing, (
+        f"{module.__name__}: missing docstrings on {missing}"
+    )
+
+
+def test_package_all_exports_resolve_and_are_documented():
+    for package in PACKAGES:
+        for name in package.__all__:
+            assert hasattr(package, name), (
+                f"{package.__name__}.__all__ lists missing {name}"
+            )
+            obj = getattr(package, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert _has_real_doc(obj, name), (
+                    f"{package.__name__}.{name} is exported undocumented"
+                )

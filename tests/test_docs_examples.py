@@ -1,0 +1,88 @@
+"""No silent doc rot: every fenced ``repro ...`` command in README.md
+and EXPERIMENTS.md must parse against the real argparse tree, and the
+EXPERIMENTS.md "Comparing fleets" walkthrough must execute verbatim."""
+
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = ("README.md", "EXPERIMENTS.md")
+
+_FENCE = re.compile(r"```(?:bash|sh|console)?\n(.*?)```", re.DOTALL)
+
+
+def fenced_repro_commands(text: str) -> list[str]:
+    """``repro ...`` command lines inside fenced code blocks.
+
+    Trailing comments and pipelines are stripped — what is parsed is
+    exactly the argv a shell would hand to the ``repro`` entry point.
+    """
+    commands = []
+    for block in _FENCE.findall(text):
+        for line in block.splitlines():
+            line = line.split("#", 1)[0].split("|", 1)[0].strip()
+            if line.startswith("repro "):
+                commands.append(line)
+    return commands
+
+
+def _all_documented_commands() -> list[tuple[str, str]]:
+    found = []
+    for doc in DOCS:
+        text = (REPO_ROOT / doc).read_text(encoding="utf-8")
+        found.extend((doc, command) for command in fenced_repro_commands(text))
+    return found
+
+
+COMMANDS = _all_documented_commands()
+
+
+def test_docs_contain_fenced_repro_commands():
+    assert len(COMMANDS) >= 10  # the quickstart + walkthrough corpus
+    assert any("fleet report" in command for _doc, command in COMMANDS)
+
+
+@pytest.mark.parametrize(
+    "doc,command", COMMANDS, ids=[f"{d}:{c}" for d, c in COMMANDS]
+)
+def test_documented_command_parses(doc, command):
+    argv = shlex.split(command)[1:]
+    parser = _build_parser()
+    try:
+        parser.parse_args(argv)
+    except SystemExit as error:  # argparse rejected the documented usage
+        pytest.fail(
+            f"{doc} documents {command!r}, which the CLI rejects "
+            f"(exit {error.code}); fix the doc or the parser"
+        )
+
+
+class TestComparingFleetsWalkthrough:
+    """The EXPERIMENTS.md walkthrough commands actually execute."""
+
+    @pytest.fixture(scope="class")
+    def walkthrough(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        section = text.split("## Comparing fleets", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        commands = fenced_repro_commands(section)
+        assert len(commands) == 3, commands
+        return commands
+
+    def test_walkthrough_executes(self, walkthrough, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        for command in walkthrough:
+            argv = shlex.split(command)[1:]
+            assert main(argv) == 0, f"walkthrough command failed: {command}"
+        assert (tmp_path / "runs/base/results.jsonl").exists()
+        assert (tmp_path / "runs/beta200/results.jsonl").exists()
+        csv_text = (tmp_path / "runs/cmp.csv").read_text(encoding="utf-8")
+        assert "solver.beta,400,200" in csv_text
+        html_text = (tmp_path / "runs/cmp.html").read_text(encoding="utf-8")
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<svg" in html_text and "polyline" in html_text

