@@ -15,6 +15,10 @@ Examples::
     repro fleet report fleet_runs/prototype_smoke
     repro fleet report runs/base --compare runs/beta200 --csv cmp.csv
     repro fleet report --compare runs/base runs/beta200 --html cmp.html
+
+    repro trace generate --kind poisson --rate 0.1 --max-sessions 4 --seed 7 --out churn.csv
+    repro trace validate churn.csv --sessions 4
+    repro trace play churn.csv --spec prototype_smoke
 """
 
 from __future__ import annotations
@@ -157,6 +161,140 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a self-contained HTML dashboard (inline SVG sparklines)",
     )
+
+    trace = subparsers.add_parser(
+        "trace", help="churn traces: generate, validate and play them"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    generate = trace_sub.add_parser(
+        "generate", help="synthesize a seeded stochastic session trace"
+    )
+    generate.add_argument(
+        "--kind",
+        choices=("poisson", "mmpp", "diurnal"),
+        default="poisson",
+        help="arrival process family (default poisson)",
+    )
+    generate.add_argument(
+        "--rate", type=float, default=0.05, help="mean arrivals per second"
+    )
+    generate.add_argument(
+        "--mean-holding",
+        type=float,
+        default=60.0,
+        help="mean session holding time in seconds",
+    )
+    generate.add_argument(
+        "--holding",
+        choices=("exponential", "lognormal"),
+        default="exponential",
+        help="holding-time distribution",
+    )
+    generate.add_argument(
+        "--holding-sigma",
+        type=float,
+        default=0.5,
+        help="lognormal holding shape parameter",
+    )
+    generate.add_argument(
+        "--burst-rate",
+        type=float,
+        default=0.0,
+        help="mmpp: burst-state arrival rate (>= --rate)",
+    )
+    generate.add_argument(
+        "--mean-burst",
+        type=float,
+        default=20.0,
+        help="mmpp: mean burst dwell in seconds",
+    )
+    generate.add_argument(
+        "--mean-calm",
+        type=float,
+        default=60.0,
+        help="mmpp: mean calm dwell in seconds",
+    )
+    generate.add_argument(
+        "--diurnal-period",
+        type=float,
+        default=240.0,
+        help="diurnal: modulation period in seconds",
+    )
+    generate.add_argument(
+        "--diurnal-amplitude",
+        type=float,
+        default=0.5,
+        help="diurnal: relative rate amplitude in [0, 1)",
+    )
+    generate.add_argument(
+        "--duration", type=float, default=200.0, help="trace horizon in seconds"
+    )
+    generate.add_argument(
+        "--initial", type=int, default=1, help="sessions active at t=0"
+    )
+    generate.add_argument(
+        "--max-sessions",
+        type=int,
+        default=8,
+        help="session id pool size (arrivals beyond it are blocked)",
+    )
+    generate.add_argument("--seed", type=int, default=0, help="generator seed")
+    generate.add_argument(
+        "--out",
+        default="",
+        metavar="PATH",
+        help="trace file to write (default: CSV on stdout)",
+    )
+    generate.add_argument(
+        "--format",
+        choices=("csv", "jsonl"),
+        default="",
+        help="output format (default: by --out suffix, else csv)",
+    )
+
+    def add_trace_input(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "trace", help="trace file path, or '-' to read CSV/JSONL from stdin"
+        )
+        sub.add_argument(
+            "--format",
+            choices=("csv", "jsonl"),
+            default="",
+            help="input format (default: by file suffix; csv for stdin)",
+        )
+
+    validate = trace_sub.add_parser(
+        "validate", help="parse a trace and check its invariants"
+    )
+    add_trace_input(validate)
+    validate.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        help="also check every sid against this session-pool size",
+    )
+
+    play = trace_sub.add_parser(
+        "play", help="simulate a trace end to end and print its metrics record"
+    )
+    add_trace_input(play)
+    play.add_argument(
+        "--spec",
+        default="",
+        help="base spec (library name or file) providing workload/solver; "
+        "default: a prototype workload sized to the trace",
+    )
+    play.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulation horizon (default: the spec's, or the trace end "
+        "plus two hop intervals)",
+    )
+    play.add_argument(
+        "--seed", type=int, default=None, help="override the simulation seed"
+    )
     return parser
 
 
@@ -259,6 +397,106 @@ def _run_fleet(args: argparse.Namespace) -> int:
     return 1 if result.failed else 0
 
 
+def _read_trace(args: argparse.Namespace):
+    """Events of the trace named on the command line (file or stdin)."""
+    from repro.runtime.traces import load_trace, parse_trace
+
+    if args.trace == "-":
+        fmt = args.format or "csv"
+        return parse_trace(sys.stdin.read(), fmt=fmt, origin="<stdin>")
+    return load_trace(args.trace, fmt=args.format)
+
+
+def _generate_trace(args: argparse.Namespace) -> int:
+    from repro.runtime.traces import SessionProcess, dump_trace, format_trace
+
+    process = SessionProcess(
+        kind=args.kind,
+        rate_per_s=args.rate,
+        mean_holding_s=args.mean_holding,
+        holding=args.holding,
+        holding_sigma=args.holding_sigma,
+        burst_rate_per_s=args.burst_rate,
+        mean_burst_s=args.mean_burst,
+        mean_calm_s=args.mean_calm,
+        diurnal_period_s=args.diurnal_period,
+        diurnal_amplitude=args.diurnal_amplitude,
+        initial=args.initial,
+        max_sessions=args.max_sessions,
+        seed=args.seed,
+    )
+    events = process.trace(args.duration)
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        if args.format:
+            Path(args.out).write_text(
+                format_trace(events, fmt=args.format), encoding="utf-8"
+            )
+        else:
+            dump_trace(events, args.out)
+        print(f"wrote {len(events)} trace events to {args.out}")
+        return 0
+    fmt = args.format or "csv"
+    sys.stdout.write(format_trace(events, fmt=fmt))
+    return 0
+
+
+def _validate_trace(args: argparse.Namespace) -> int:
+    from repro.runtime.traces import validate_trace
+
+    events = _read_trace(args)
+    initial = validate_trace(events, max_sessions=args.sessions)
+    active = len(initial)
+    peak = active
+    for event in events:
+        if event.time_s == 0.0 and event.kind == "arrive":
+            continue
+        if event.kind == "arrive":
+            active += 1
+            peak = max(peak, active)
+        elif event.kind == "depart":
+            active -= 1
+    sids = {event.sid for event in events}
+    last = events[-1].time_s if events else 0.0
+    print(
+        f"trace ok: {len(events)} events, {len(sids)} distinct sessions, "
+        f"{len(initial)} initial, peak {peak} concurrent, "
+        f"final {active} active, horizon {last:g}s"
+    )
+    return 0
+
+
+def _play_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.fleet import execute_trace
+    from repro.fleet.spec import RunSpec, apply_override
+
+    events = _read_trace(args)
+    if not events:
+        raise SpecError("trace is empty: nothing to play")
+    horizon = max(event.time_s for event in events)
+    if args.spec:
+        spec = _resolve_spec(args.spec)
+        data = spec.to_dict()
+    else:
+        pool = max(event.sid for event in events) + 1
+        spec = RunSpec(name="trace-play")
+        data = spec.to_dict()
+        apply_override(data, "workload.num_sessions", max(pool, 2))
+        hop_mean = spec.simulation.hop_interval_mean_s
+        apply_override(
+            data, "simulation.duration_s", horizon + 2.0 * hop_mean
+        )
+    if args.duration is not None:
+        apply_override(data, "simulation.duration_s", args.duration)
+    if args.seed is not None:
+        apply_override(data, "simulation.seed", args.seed)
+    record = execute_trace(events, RunSpec.from_dict(data))
+    print(_json.dumps(record, sort_keys=True, indent=2))
+    return 0
+
+
 def _report_fleet(args: argparse.Namespace) -> int:
     from repro.analysis.report import (
         compare_fleets,
@@ -341,6 +579,19 @@ def _dispatch(argv: Sequence[str] | None) -> int:
                 return _report_fleet(args)
             return _run_fleet(args)
         except SpecError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    if args.command == "trace":
+        from repro.errors import ReproError
+
+        try:
+            if args.trace_command == "generate":
+                return _generate_trace(args)
+            if args.trace_command == "validate":
+                return _validate_trace(args)
+            return _play_trace(args)
+        except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
 

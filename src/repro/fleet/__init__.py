@@ -21,7 +21,13 @@ Bundled example specs live in :mod:`repro.fleet.library`::
     repro fleet report fleet_runs/prototype_smoke
 """
 
-from repro.fleet.compile import CompiledRun, compile_spec, execute_spec
+from repro.fleet.compile import (
+    CompiledRun,
+    compile_spec,
+    compile_trace,
+    execute_spec,
+    execute_trace,
+)
 from repro.fleet.library import library_spec_names, load_library_spec
 from repro.fleet.orchestrator import (
     FleetOrchestrator,
@@ -41,6 +47,7 @@ from repro.fleet.spec import (
     SolverSpec,
     SweepSpec,
     TopologySpec,
+    TraceSpec,
     WorkloadSpec,
     load_spec,
     spec_hash,
@@ -61,10 +68,13 @@ __all__ = [
     "SolverSpec",
     "SweepSpec",
     "TopologySpec",
+    "TraceSpec",
     "WorkloadSpec",
     "aggregate_records",
     "compile_spec",
+    "compile_trace",
     "execute_spec",
+    "execute_trace",
     "expand_matrix",
     "library_spec_names",
     "load_library_spec",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.analysis.report import SCHEMA_VERSION
 from repro.analysis.series import downsample_series
@@ -41,6 +42,7 @@ from repro.runtime.simulation import (
     SimulationConfig,
     SimulationResult,
 )
+from repro.runtime.traces import TraceEvent, load_trace, schedule_from_trace
 from repro.workloads.demand import DemandModel
 from repro.workloads.prototype import prototype_conference
 from repro.workloads.scenarios import ScenarioParams, scenario_conference
@@ -121,8 +123,42 @@ def _noise_model(spec: RunSpec) -> NoiseModel | None:
     return QuantizedPerturbation(delta=noise.delta, levels=noise.levels)
 
 
+def _trace_schedule(spec: RunSpec, num_sessions: int) -> DynamicsSchedule:
+    """Resolve a spec's trace section into a validated schedule.
+
+    Load/parse problems (missing file, malformed row) and feasibility
+    problems (pool overflow, inactive departures) get distinct
+    diagnostics — a bad path is not an infeasibility.
+    """
+    trace = spec.churn.trace
+    events = None
+    if trace.kind == "file":
+        try:
+            events = load_trace(trace.path)
+        except ReproError as error:
+            raise SpecError(
+                f"spec {spec.name!r}: churn trace: {error}"
+            ) from error
+    try:
+        if events is None:
+            process = trace._process(
+                initial=spec.churn.initial,
+                max_sessions=num_sessions,
+                seed=trace.seed if trace.seed >= 0 else spec.simulation.seed,
+            )
+            events = process.trace(spec.simulation.duration_s)
+        return schedule_from_trace(events, max_sessions=num_sessions)
+    except ReproError as error:
+        raise SpecError(
+            f"spec {spec.name!r}: trace infeasible for "
+            f"{num_sessions} sessions: {error}"
+        ) from error
+
+
 def _schedule(spec: RunSpec, num_sessions: int) -> DynamicsSchedule:
     churn = spec.churn
+    if churn.trace.kind != "none":
+        return _trace_schedule(spec, num_sessions)
     if churn.initial == 0 and not churn.waves:
         return DynamicsSchedule.static(range(num_sessions))
     try:
@@ -197,6 +233,35 @@ RECORD_SERIES: tuple[str, ...] = ("traffic", "delay", "phi")
 RECORD_SERIES_POINTS = 32
 
 
+def compile_trace(
+    events: Sequence[TraceEvent], spec: RunSpec
+) -> CompiledRun:
+    """Resolve a spec but drive its dynamics from ``events`` instead of
+    the spec's own churn section (``repro trace play``).
+
+    The trace is validated against the compiled workload's session pool
+    exactly like a ``churn.trace`` section; infeasible events raise
+    :class:`~repro.errors.SpecError` naming the offending event.
+    """
+    data = spec.to_dict()
+    # The played trace supersedes the spec's own churn plan, and a
+    # played run is one concrete simulation (no sweep).
+    data["churn"] = {}
+    data["sweep"] = {"replicates": 1, "axes": []}
+    compiled = compile_spec(RunSpec.from_dict(data))
+    try:
+        schedule = schedule_from_trace(
+            events, max_sessions=compiled.conference.num_sessions
+        )
+    except ReproError as error:
+        raise SpecError(
+            f"spec {spec.name!r}: trace infeasible for "
+            f"{compiled.conference.num_sessions} sessions: {error}"
+        ) from error
+    compiled.schedule = schedule
+    return compiled
+
+
 def execute_spec(spec: RunSpec) -> dict:
     """Compile + simulate one spec and return a flat metrics record.
 
@@ -205,7 +270,18 @@ def execute_spec(spec: RunSpec) -> dict:
     versioned schema of :mod:`repro.analysis.report` (documented in
     DESIGN.md "Result records").
     """
-    compiled = compile_spec(spec)
+    return run_record(compile_spec(spec))
+
+
+def execute_trace(events: Sequence[TraceEvent], spec: RunSpec) -> dict:
+    """Compile + simulate one spec against an externally supplied trace
+    and return the standard flat metrics record."""
+    return run_record(compile_trace(events, spec))
+
+
+def run_record(compiled: CompiledRun) -> dict:
+    """Simulate a compiled run and shape its flat metrics record."""
+    spec = compiled.spec
     simulation: SimulationResult = compiled.simulator().run()
     conference = compiled.conference
     record: dict = {

@@ -11,7 +11,13 @@
 * ``noise_sweep`` — Alg. 1 under increasing measurement noise
   (Theorem 1 territory), seed-replicated;
 * ``beta_locality`` — a 2-axis grid (beta x session locality) with seed
-  replication, the canonical sweep shape.
+  replication, the canonical sweep shape;
+* ``poisson_churn`` — continuous trace-driven churn (Poisson arrivals,
+  exponential holding) swept over a churn-intensity grid;
+* ``bursty_mmpp`` — two-state MMPP arrival bursts with lognormal
+  holding times, swept over burst dwell;
+* ``diurnal_cycle`` — a compressed day cycle (sinusoidally modulated
+  arrival rate) on a capacity-constrained Internet-scale draw.
 """
 
 from __future__ import annotations

@@ -12,6 +12,7 @@ through :mod:`repro.analysis`.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import multiprocessing
@@ -54,14 +55,36 @@ class RunUnit:
     seed: int = 0
 
 
+def _unit_run_id(resolved: RunSpec) -> str:
+    """Content-hash id of one resolved unit.
+
+    For ``churn.trace.kind: file`` specs the trace file's *contents*
+    are folded into the id — the spec only names a path, and a resume
+    cache keyed on the path string would silently serve results from an
+    edited trace.  A missing file hashes as the bare spec; compilation
+    raises the real diagnostic.
+    """
+    run_id = spec_hash(resolved)
+    trace = resolved.churn.trace
+    if trace.kind == "file":
+        path = Path(trace.path)
+        if path.is_file():
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            run_id = hashlib.sha256(
+                f"{run_id}:{digest}".encode("utf-8")
+            ).hexdigest()[:12]
+    return run_id
+
+
 def expand_matrix(spec: RunSpec) -> list[RunUnit]:
     """Expand a spec's sweep block into the full run matrix.
 
     The grid is the cartesian product of the axes (in declaration order)
     and each grid point is replicated ``sweep.replicates`` times with
     seeds ``simulation.seed + i``.  Unit specs are sweep-free and carry a
-    deterministic content-hash id, so re-expanding an unchanged spec
-    reproduces the same ids (the skip/resume cache key).
+    deterministic content-hash id (covering a file trace's contents as
+    well), so re-expanding an unchanged spec reproduces the same ids
+    (the skip/resume cache key).
     """
     sweep = spec.sweep
     axis_paths = [axis.path for axis in sweep.axes]
@@ -76,7 +99,7 @@ def expand_matrix(spec: RunSpec) -> list[RunUnit]:
             resolved = spec.with_overrides(overrides)
             units.append(
                 RunUnit(
-                    run_id=spec_hash(resolved),
+                    run_id=_unit_run_id(resolved),
                     spec=resolved,
                     axes=axes,
                     seed=base_seed + replicate,

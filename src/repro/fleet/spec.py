@@ -35,11 +35,17 @@ import yaml
 
 from repro.errors import SpecError
 from repro.netsim.sites import known_region_names, known_site_names, region
+from repro.runtime.traces import HOLDING_KINDS, PROCESS_KINDS, SessionProcess
 
 WORKLOAD_KINDS: tuple[str, ...] = ("prototype", "scenario")
 SOLVER_POLICIES: tuple[str, ...] = ("nearest", "agrank")
 HOP_RULES: tuple[str, ...] = ("paper", "metropolis")
 NOISE_KINDS: tuple[str, ...] = ("none", "gaussian", "quantized")
+#: Churn-trace sources: a recorded file or a generated session process
+#: (derived from the trace layer's vocabularies, never duplicated).
+TRACE_KINDS: tuple[str, ...] = ("none", "file") + PROCESS_KINDS
+#: Holding-time distributions a generated trace may draw from.
+TRACE_HOLDING_KINDS: tuple[str, ...] = HOLDING_KINDS
 
 #: Representation names a demand spec may reference (the paper's ladder).
 LADDER_NAMES: tuple[str, ...] = ("360p", "480p", "720p", "1080p")
@@ -384,18 +390,112 @@ class ChurnWave:
 
 
 @dataclass(frozen=True)
+class TraceSpec:
+    """Trace-driven churn: a recorded event file or a session process.
+
+    ``kind: file`` replays a CSV/JSONL trace of timestamped
+    ``arrive``/``depart``/``resize`` events (see DESIGN.md "Trace
+    ingestion" for the row format); the generator kinds (``poisson``,
+    ``mmpp``, ``diurnal``) synthesize a seeded stochastic session
+    process over the workload's session pool.  ``seed: -1`` (the
+    default) derives the trace from ``simulation.seed``, so sweep
+    replicates draw distinct traces; pinning ``seed >= 0`` holds the
+    trace fixed while other knobs vary.
+    """
+
+    kind: str = "none"
+    #: ``file`` only: path of the trace file (relative to the cwd).
+    path: str = ""
+    #: Generators: mean arrival rate (sessions per second).
+    rate_per_s: float = 0.05
+    #: Generators: mean session holding time.
+    mean_holding_s: float = 60.0
+    holding: str = "exponential"
+    #: Lognormal holding only: shape parameter sigma.
+    holding_sigma: float = 0.5
+    #: MMPP only: burst-state arrival rate (>= rate_per_s).
+    burst_rate_per_s: float = 0.0
+    #: MMPP only: mean dwell in the burst / calm state.
+    mean_burst_s: float = 20.0
+    mean_calm_s: float = 60.0
+    #: Diurnal only: modulation period and relative amplitude.
+    diurnal_period_s: float = 240.0
+    diurnal_amplitude: float = 0.5
+    #: Trace seed; -1 follows ``simulation.seed``.
+    seed: int = -1
+
+    def __post_init__(self) -> None:
+        _coerce_declared_scalars(self)
+        if self.kind not in TRACE_KINDS:
+            raise SpecError(
+                f"churn.trace.kind {self.kind!r} is unknown; "
+                f"choose from {TRACE_KINDS}"
+            )
+        if self.holding not in TRACE_HOLDING_KINDS:
+            raise SpecError(
+                f"churn.trace.holding {self.holding!r} is unknown; "
+                f"choose from {TRACE_HOLDING_KINDS}"
+            )
+        if self.kind == "file" and not self.path:
+            raise SpecError("churn.trace.path is required for kind 'file'")
+        if self.kind != "file" and self.path:
+            raise SpecError(
+                "churn.trace.path applies to kind 'file' only, "
+                f"not {self.kind!r}"
+            )
+        if self.seed < -1:
+            raise SpecError(
+                f"churn.trace.seed must be >= -1 (-1 follows "
+                f"simulation.seed), got {self.seed}"
+            )
+        if self.kind in PROCESS_KINDS:
+            # Delegate the generator-parameter constraints to the trace
+            # layer itself (one validator, no drift): a probe process
+            # with placeholder population knobs — those are resolved at
+            # compile time from churn.initial and the workload pool.
+            try:
+                self._process(initial=1, max_sessions=2, seed=max(self.seed, 0))
+            except SpecError as error:
+                raise SpecError(f"churn.trace: {error}") from None
+
+    def _process(
+        self, initial: int, max_sessions: int, seed: int
+    ) -> SessionProcess:
+        """The :class:`~repro.runtime.traces.SessionProcess` these knobs
+        describe, bound to a concrete population (pool + t=0 set)."""
+        return SessionProcess(
+            kind=self.kind,
+            rate_per_s=self.rate_per_s,
+            mean_holding_s=self.mean_holding_s,
+            holding=self.holding,
+            holding_sigma=self.holding_sigma,
+            burst_rate_per_s=self.burst_rate_per_s,
+            mean_burst_s=self.mean_burst_s,
+            mean_calm_s=self.mean_calm_s,
+            diurnal_period_s=self.diurnal_period_s,
+            diurnal_amplitude=self.diurnal_amplitude,
+            initial=initial,
+            max_sessions=max_sessions,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
 class ChurnSpec:
-    """Session dynamics: which sessions start at t=0 and the churn waves.
+    """Session dynamics: which sessions start at t=0 and the churn plan.
 
     ``initial = 0`` means every session is active from the start (the
     static Figs. 4/6/7 shape).  With waves, arrivals draw from the
     reserve pool ``[initial, num_sessions)`` and departures retire the
-    longest-running session; the compiler validates the plan against the
-    workload's actual session count before any solve starts.
+    longest-running session; a :class:`TraceSpec` instead drives churn
+    from a recorded trace file or a generated session process.  Either
+    way the compiler validates the plan against the workload's actual
+    session count before any solve starts.
     """
 
     initial: int = 0
     waves: tuple[ChurnWave, ...] = ()
+    trace: TraceSpec = field(default_factory=TraceSpec)
 
     def __post_init__(self) -> None:
         _coerce_declared_scalars(self)
@@ -406,6 +506,24 @@ class ChurnSpec:
                 "churn.initial must be set (>= 1) when churn waves are "
                 "declared, so arrivals have a reserve pool"
             )
+        if self.trace.kind != "none":
+            if self.waves:
+                raise SpecError(
+                    "churn.waves and churn.trace are mutually exclusive: "
+                    "a run's dynamics come from one source"
+                )
+            if self.trace.kind == "file":
+                if self.initial != 0:
+                    raise SpecError(
+                        "churn.initial applies to generated traces only; "
+                        "a trace file defines its initial sessions via "
+                        "arrivals at t=0"
+                    )
+            elif self.initial < 1:
+                raise SpecError(
+                    "churn.initial must be >= 1 for generated traces "
+                    "(the sessions active at t=0)"
+                )
 
 
 @dataclass(frozen=True)

@@ -15,13 +15,22 @@ discrete-event simulation:
 * :mod:`repro.runtime.metrics` — time-series recording;
 * :mod:`repro.runtime.migration` — the dual-feed overhead model
   (~13.2 kb per 240p migration at a 30 ms overlap, per the paper);
-* :mod:`repro.runtime.dynamics` — session arrival/departure schedules
-  (Fig. 5);
+* :mod:`repro.runtime.dynamics` — session arrival/departure/resize
+  schedules (Fig. 5) with a canonical intra-timestamp event order;
+* :mod:`repro.runtime.traces` — trace file IO (CSV/JSONL), seeded
+  stochastic session processes (Poisson / MMPP / diurnal) and the
+  open-loop :class:`~repro.runtime.traces.TracePlayer`;
 * :mod:`repro.runtime.simulation` — the simulator binding a
-  :class:`~repro.core.markov.MarkovAssignmentSolver` to wall-clock time.
+  :class:`~repro.core.markov.MarkovAssignmentSolver` to wall-clock time,
+  fed one trace batch at a time.
 """
 
-from repro.runtime.dynamics import DynamicsSchedule, SessionArrival, SessionDeparture
+from repro.runtime.dynamics import (
+    DynamicsSchedule,
+    SessionArrival,
+    SessionDeparture,
+    SessionResize,
+)
 from repro.runtime.events import EventQueue
 from repro.runtime.metrics import TimeSeriesRecorder
 from repro.runtime.migration import MigrationModel, MigrationRecord
@@ -29,6 +38,17 @@ from repro.runtime.simulation import (
     ConferencingSimulator,
     SimulationConfig,
     SimulationResult,
+)
+from repro.runtime.traces import (
+    SessionProcess,
+    TraceEvent,
+    TracePlayer,
+    dump_trace,
+    format_trace,
+    load_trace,
+    parse_trace,
+    schedule_from_trace,
+    trace_from_schedule,
 )
 
 __all__ = [
@@ -39,7 +59,17 @@ __all__ = [
     "MigrationRecord",
     "SessionArrival",
     "SessionDeparture",
+    "SessionProcess",
+    "SessionResize",
     "SimulationConfig",
     "SimulationResult",
     "TimeSeriesRecorder",
+    "TraceEvent",
+    "TracePlayer",
+    "dump_trace",
+    "format_trace",
+    "load_trace",
+    "parse_trace",
+    "schedule_from_trace",
+    "trace_from_schedule",
 ]

@@ -1,8 +1,18 @@
 """Session arrival/departure schedules (paper Fig. 5).
 
 A :class:`DynamicsSchedule` lists which sessions are active at t=0 and the
-timed arrival/departure events.  The Fig. 5 scenario — 6 sessions at t=0,
-4 arriving at t=40 s, 3 departing at t=80 s — has a ready-made factory.
+timed arrival/departure/resize events.  The Fig. 5 scenario — 6 sessions
+at t=0, 4 arriving at t=40 s, 3 departing at t=80 s — has a ready-made
+factory; arbitrary churn traces come in through
+:mod:`repro.runtime.traces`.
+
+Events sharing a timestamp execute in one canonical order — arrivals,
+then resizes, then departures, each group stable by session id — so two
+schedules describing the same event *set* are the same schedule, however
+their event tuples were assembled.  (Before this rule, ordering at a
+shared ``time_s`` silently followed construction order: a departure
+listed ahead of an arrival at the same instant validated — or failed —
+differently from the reverse listing.)
 """
 
 from __future__ import annotations
@@ -30,16 +40,49 @@ class SessionDeparture:
 
 
 @dataclass(frozen=True)
+class SessionResize:
+    """Session ``sid`` renegotiates its placement at ``time_s``.
+
+    Conference rosters are fixed per sid in this model, so a membership
+    change is represented by re-admitting the session against the
+    current residual capacities (the runtime re-runs its arrival
+    bootstrap); the session stays active throughout.
+    """
+
+    time_s: float
+    sid: int
+
+
+DynamicsEvent = SessionArrival | SessionDeparture | SessionResize
+
+#: Canonical execution rank of events sharing a timestamp: arrivals make
+#: room semantics unambiguous (a sid may depart and be replaced at the
+#: same instant without ever emptying the conference), resizes act on a
+#: live roster, departures go last.
+_EVENT_RANK: dict[type, int] = {
+    SessionArrival: 0,
+    SessionResize: 1,
+    SessionDeparture: 2,
+}
+
+
+def canonical_event_order(events: Sequence[DynamicsEvent]) -> tuple[DynamicsEvent, ...]:
+    """Sort events by ``(time_s, kind rank, sid)`` — the deterministic
+    intra-timestamp order every schedule and trace player uses."""
+    return tuple(
+        sorted(events, key=lambda e: (e.time_s, _EVENT_RANK[type(e)], e.sid))
+    )
+
+
+@dataclass(frozen=True)
 class DynamicsSchedule:
-    """Initial active set plus timed arrivals/departures."""
+    """Initial active set plus timed arrival/departure/resize events."""
 
     initial_sids: tuple[int, ...]
-    events: tuple[SessionArrival | SessionDeparture, ...] = field(default=())
+    events: tuple[DynamicsEvent, ...] = field(default=())
 
     def __post_init__(self) -> None:
-        object.__setattr__(
-            self, "events", tuple(sorted(self.events, key=lambda e: e.time_s))
-        )
+        object.__setattr__(self, "events", canonical_event_order(self.events))
         active = set(self.initial_sids)
         if len(active) != len(self.initial_sids):
             raise SimulationError("duplicate initial sessions")
@@ -50,6 +93,11 @@ class DynamicsSchedule:
                 if event.sid in active:
                     raise SimulationError(f"session {event.sid} arrives twice")
                 active.add(event.sid)
+            elif isinstance(event, SessionResize):
+                if event.sid not in active:
+                    raise SimulationError(
+                        f"session {event.sid} resizes while inactive"
+                    )
             else:
                 if event.sid not in active:
                     raise SimulationError(
@@ -75,7 +123,9 @@ class DynamicsSchedule:
         Arrivals draw fresh session ids from the reserve pool
         ``[initial, num_sessions)`` in order; departures retire the
         longest-running active session (FIFO), never emptying the
-        conference.  Used by the fleet compiler's churn specs.
+        conference.  Within one wave (and across waves sharing a
+        timestamp) arrivals land before departures — the canonical
+        intra-timestamp order.  Used by the fleet compiler's churn specs.
         """
         if not 1 <= initial <= num_sessions:
             raise SimulationError(
@@ -83,7 +133,7 @@ class DynamicsSchedule:
             )
         pending = list(range(initial, num_sessions))
         active = list(range(initial))
-        events: list[SessionArrival | SessionDeparture] = []
+        events: list[DynamicsEvent] = []
         for time_s, arrivals, departures in sorted(waves, key=lambda w: w[0]):
             if arrivals < 0 or departures < 0:
                 raise SimulationError("wave arrivals/departures must be >= 0")
@@ -115,7 +165,7 @@ class DynamicsSchedule:
     ) -> "DynamicsSchedule":
         """The paper's dynamic scenario: arrivals at t=40 s, departures at
         t=80 s (departing sessions must be active by then)."""
-        events: list[SessionArrival | SessionDeparture] = [
+        events: list[DynamicsEvent] = [
             SessionArrival(arrival_time_s, sid) for sid in arriving_sids
         ]
         events.extend(SessionDeparture(departure_time_s, sid) for sid in departing_sids)

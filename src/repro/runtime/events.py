@@ -19,6 +19,7 @@ from repro.errors import SimulationError
 @dataclass(order=True)
 class _Entry:
     time_s: float
+    priority: int
     sequence: int
     handle: "EventHandle" = field(compare=False)
 
@@ -26,11 +27,12 @@ class _Entry:
 class EventHandle:
     """A cancellable reference to one scheduled event."""
 
-    __slots__ = ("kind", "payload", "cancelled")
+    __slots__ = ("kind", "payload", "priority", "cancelled")
 
-    def __init__(self, kind: str, payload: Any):
+    def __init__(self, kind: str, payload: Any, priority: int = 0):
         self.kind = kind
         self.payload = payload
+        self.priority = priority
         self.cancelled = False
 
     def cancel(self) -> None:
@@ -57,21 +59,36 @@ class EventQueue:
     def __len__(self) -> int:
         return sum(1 for entry in self._heap if not entry.handle.cancelled)
 
-    def schedule(self, time_s: float, kind: str, payload: Any = None) -> EventHandle:
-        """Add an event; ``time_s`` must not precede the current time."""
+    def schedule(
+        self,
+        time_s: float,
+        kind: str,
+        payload: Any = None,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Add an event; ``time_s`` must not precede the current time.
+
+        Ties at one timestamp pop in ``(priority, insertion order)``:
+        lower-priority-number events first, so a caller can guarantee an
+        ordering between event classes independent of when each was
+        scheduled (the simulator runs session dynamics before samples
+        and wakes at a shared instant).
+        """
         if time_s < self._now - 1e-12:
             raise SimulationError(
                 f"cannot schedule {kind!r} at {time_s:.6f}s in the past "
                 f"(now={self._now:.6f}s)"
             )
-        handle = EventHandle(kind, payload)
-        heapq.heappush(self._heap, _Entry(time_s, next(self._counter), handle))
+        handle = EventHandle(kind, payload, priority)
+        heapq.heappush(
+            self._heap, _Entry(time_s, priority, next(self._counter), handle)
+        )
         return handle
 
     def reschedule(self, handle: EventHandle, time_s: float) -> EventHandle:
         """Cancel ``handle`` and schedule an identical event at ``time_s``."""
         handle.cancel()
-        return self.schedule(time_s, handle.kind, handle.payload)
+        return self.schedule(time_s, handle.kind, handle.payload, handle.priority)
 
     def pop(self) -> tuple[float, EventHandle] | None:
         """Next live event as ``(time, handle)``, or None when drained."""

@@ -13,7 +13,14 @@ Binds Alg. 1's jump chain to wall-clock time:
   objective, per-session series) are taken on a fixed grid — these are the
   series plotted in Figs. 4-7;
 * session arrivals bootstrap a new session against residual capacities and
-  join the hop loop; departures release capacity (Fig. 5).
+  join the hop loop; departures release capacity (Fig. 5); resizes
+  re-admit a live session against the current residuals.
+
+Session dynamics stream in open-loop: the simulator consumes a
+:class:`~repro.runtime.traces.TracePlayer` one timestamp batch at a
+time (a :class:`~repro.runtime.dynamics.DynamicsSchedule` is wrapped
+into a player transparently), so unbounded generated traces play
+without ever materializing a full schedule.
 """
 
 from __future__ import annotations
@@ -33,10 +40,15 @@ from repro.core.objective import ObjectiveEvaluator
 from repro.errors import SimulationError
 from repro.model.conference import Conference
 from repro.netsim.noise import NoiseModel
-from repro.runtime.dynamics import DynamicsSchedule, SessionArrival
+from repro.runtime.dynamics import (
+    DynamicsSchedule,
+    SessionArrival,
+    SessionResize,
+)
 from repro.runtime.events import EventHandle, EventQueue
 from repro.runtime.metrics import TimeSeriesRecorder
 from repro.runtime.migration import MigrationModel, MigrationRecord
+from repro.runtime.traces import TracePlayer
 
 Policy = Literal["nearest", "agrank"]
 
@@ -79,6 +91,10 @@ class SimulationResult:
     freezes: int
     final_assignment: Assignment
     config: SimulationConfig
+    #: Resize (placement-renegotiation) events executed during the run.
+    resizes: int = 0
+    #: Dynamics events streamed from the trace player (open-loop feed).
+    trace_events: int = 0
 
     def series(self, name: str) -> tuple[np.ndarray, np.ndarray]:
         """``(times, values)`` of a recorded series (e.g. ``"traffic"``)."""
@@ -109,7 +125,7 @@ class ConferencingSimulator:
     def __init__(
         self,
         evaluator: ObjectiveEvaluator,
-        schedule: DynamicsSchedule,
+        schedule: DynamicsSchedule | TracePlayer,
         config: SimulationConfig | None = None,
         noise: NoiseModel | None = None,
         migration_model: MigrationModel | None = None,
@@ -117,7 +133,11 @@ class ConferencingSimulator:
     ):
         self._evaluator = evaluator
         self._conference: Conference = evaluator.conference
-        self._schedule = schedule
+        self._player = (
+            TracePlayer.from_schedule(schedule)
+            if isinstance(schedule, DynamicsSchedule)
+            else schedule
+        )
         self._config = config if config is not None else SimulationConfig()
         self._noise = noise
         self._migration_model = (
@@ -131,6 +151,8 @@ class ConferencingSimulator:
         self._migrations: list[MigrationRecord] = []
         self._wake_handles: dict[int, tuple[EventHandle, float]] = {}
         self._freezes = 0
+        self._resizes = 0
+        self._pending_trace = 0
         self._solver: MarkovAssignmentSolver | None = None
 
     # ------------------------------------------------------------------ #
@@ -140,7 +162,7 @@ class ConferencingSimulator:
     def _bootstrap_initial(self) -> Assignment:
         if self._initial_assignment is not None:
             return self._initial_assignment
-        sids = list(self._schedule.initial_sids)
+        sids = list(self._player.initial_sids)
         # Admission checks capacities only: the runtime's hop filter
         # enforces the delay cap from the first migration onwards.
         return bootstrap_assignment(
@@ -173,7 +195,7 @@ class ConferencingSimulator:
 
     def _schedule_wake(self, sid: int, now: float) -> None:
         wake_at = now + self._draw_wait()
-        handle = self._queue.schedule(wake_at, "wake", sid)
+        handle = self._queue.schedule(wake_at, "wake", sid, priority=1)
         self._wake_handles[sid] = (handle, wake_at)
 
     def _freeze_others(self, hopping_sid: int, now: float) -> None:
@@ -230,13 +252,14 @@ class ConferencingSimulator:
                     )
         next_sample = now + self._config.sample_interval_s
         if next_sample <= self._config.duration_s + 1e-9:
-            self._queue.schedule(next_sample, "sample")
+            self._queue.schedule(next_sample, "sample", priority=1)
 
     def _on_arrival(self, sid: int, now: float) -> None:
         assert self._solver is not None
         assignment = self._bootstrap_arrival(sid)
         self._solver.context.add_session(sid, assignment)
         self._schedule_wake(sid, now)
+        self._trace_event_done()
 
     def _on_departure(self, sid: int, now: float) -> None:
         assert self._solver is not None
@@ -245,6 +268,43 @@ class ConferencingSimulator:
         if handle_entry is not None:
             handle_entry[0].cancel()
         self._solver.context.remove_session(sid)
+        self._trace_event_done()
+
+    def _on_resize(self, sid: int, now: float) -> None:
+        """Re-admit a live session against the current residual
+        capacities (the roster is fixed, so a membership change shows up
+        as a placement renegotiation); its WAIT countdown keeps running."""
+        assert self._solver is not None
+        del now
+        if sid in self._wake_handles:
+            self._solver.context.remove_session(sid)
+            self._solver.context.add_session(sid, self._bootstrap_arrival(sid))
+            self._resizes += 1
+        self._trace_event_done()
+
+    # ------------------------------------------------------------------ #
+    # Open-loop trace feed                                               #
+    # ------------------------------------------------------------------ #
+
+    _TRACE_KINDS = {
+        SessionArrival: "arrival",
+        SessionResize: "resize",
+    }
+
+    def _pump_trace(self) -> None:
+        """Schedule the player's next timestamp batch (open-loop: one
+        batch in flight at a time, pulled only when the previous batch
+        has fully executed — unbounded streams never pile up)."""
+        batch = self._player.next_batch(limit_s=self._config.duration_s)
+        self._pending_trace = len(batch)
+        for event in batch:
+            kind = self._TRACE_KINDS.get(type(event), "departure")
+            self._queue.schedule(event.time_s, kind, event.sid)
+
+    def _trace_event_done(self) -> None:
+        self._pending_trace -= 1
+        if self._pending_trace == 0:
+            self._pump_trace()
 
     # ------------------------------------------------------------------ #
     # Main loop                                                          #
@@ -257,20 +317,14 @@ class ConferencingSimulator:
             self._evaluator,
             initial,
             config=self._config.markov,
-            active_sids=list(self._schedule.initial_sids),
+            active_sids=list(self._player.initial_sids),
             noise=self._noise,
             rng=self._rng,
         )
-        for sid in self._schedule.initial_sids:
+        for sid in self._player.initial_sids:
             self._schedule_wake(sid, 0.0)
-        for event in self._schedule.events:
-            if event.time_s > self._config.duration_s:
-                continue
-            if isinstance(event, SessionArrival):
-                self._queue.schedule(event.time_s, "arrival", event.sid)
-            else:
-                self._queue.schedule(event.time_s, "departure", event.sid)
-        self._queue.schedule(0.0, "sample")
+        self._pump_trace()
+        self._queue.schedule(0.0, "sample", priority=1)
 
         while True:
             popped = self._queue.pop()
@@ -287,6 +341,8 @@ class ConferencingSimulator:
                 self._on_arrival(handle.payload, now)
             elif handle.kind == "departure":
                 self._on_departure(handle.payload, now)
+            elif handle.kind == "resize":
+                self._on_resize(handle.payload, now)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {handle.kind!r}")
 
@@ -297,4 +353,6 @@ class ConferencingSimulator:
             freezes=self._freezes,
             final_assignment=self._solver.assignment,
             config=self._config,
+            resizes=self._resizes,
+            trace_events=self._player.events_streamed,
         )

@@ -1,0 +1,719 @@
+"""Open-loop trace player + stochastic session processes.
+
+The paper's dynamic evaluation (Fig. 5) drives the runtime with one
+hand-written wave schedule.  This module opens the churn axis to
+arbitrary inputs:
+
+* **Trace files** — CSV or JSONL rows of timestamped session
+  ``arrive`` / ``depart`` / ``resize`` events (:func:`parse_trace`,
+  :func:`load_trace`), exported back out losslessly
+  (:func:`format_trace`, :func:`dump_trace`).  Arrivals at exactly
+  ``t=0`` define the initially active set, so a trace is
+  self-contained: ``export -> play`` round-trips the schedule.
+* **Session processes** — :class:`SessionProcess`, a seeded generator
+  of Poisson arrivals with exponential or lognormal holding times,
+  plus bursty (two-state MMPP) and diurnal (sinusoidally modulated
+  rate) variants.  Generation is bit-for-bit deterministic per seed
+  and streams lazily (:meth:`SessionProcess.stream` never
+  materializes an unbounded trace).
+* **The player** — :class:`TracePlayer`, the open-loop bridge into
+  :class:`~repro.runtime.simulation.ConferencingSimulator`: it feeds
+  events incrementally (one timestamp batch at a time), validating the
+  stream as it goes, instead of requiring a fully materialized
+  :class:`~repro.runtime.dynamics.DynamicsSchedule`.
+
+Invariants enforced on every trace (parse errors name the offending
+line, semantic errors the offending event): timestamps are
+non-negative and non-decreasing, no session arrives twice while
+active, departures and resizes reference active sessions only, and the
+conference is never emptied — at a shared timestamp arrivals execute
+before resizes before departures (stable by sid), the canonical order
+of :mod:`repro.runtime.dynamics`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import math
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError, SpecError
+from repro.runtime.dynamics import (
+    _EVENT_RANK,
+    DynamicsEvent,
+    DynamicsSchedule,
+    SessionArrival,
+    SessionDeparture,
+    SessionResize,
+    canonical_event_order,
+)
+
+#: Event verbs a trace row may carry, in canonical intra-timestamp order.
+TRACE_EVENT_KINDS: tuple[str, ...] = ("arrive", "depart", "resize")
+
+#: Holding-time distributions a session process can draw from.
+HOLDING_KINDS: tuple[str, ...] = ("exponential", "lognormal")
+
+#: Session-process families (constant-rate, bursty, day-cycle).
+PROCESS_KINDS: tuple[str, ...] = ("poisson", "mmpp", "diurnal")
+
+#: Header line of the CSV trace format.
+TRACE_CSV_HEADER = "time_s,event,sid"
+
+#: Entropy tag mixed into every SessionProcess seed ("trac" in hex) so
+#: generator streams never alias the simulator stream of the same seed.
+_TRACE_STREAM_TAG = 0x74726163
+
+_DYNAMICS_BY_KIND = {
+    "arrive": SessionArrival,
+    "depart": SessionDeparture,
+    "resize": SessionResize,
+}
+_KIND_BY_DYNAMICS = {cls: kind for kind, cls in _DYNAMICS_BY_KIND.items()}
+
+# Derived from the dynamics rank table so the trace codecs can never
+# drift from the canonical execution order.
+_KIND_RANK = {kind: _EVENT_RANK[cls] for kind, cls in _DYNAMICS_BY_KIND.items()}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace row: session ``sid`` does ``kind`` at ``time_s``.
+
+    ``line`` remembers the 1-based source line of a parsed file purely
+    for diagnostics; it never participates in equality, so a parsed
+    trace compares equal to the generated trace it was exported from.
+    """
+
+    time_s: float
+    kind: str
+    sid: int
+    line: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRACE_EVENT_KINDS:
+            raise SimulationError(
+                f"{_at(self)}: unknown event kind {self.kind!r}; "
+                f"choose from {TRACE_EVENT_KINDS}"
+            )
+        if not math.isfinite(self.time_s) or self.time_s < 0:
+            raise SimulationError(
+                f"{_at(self)}: time_s must be finite and >= 0, "
+                f"got {self.time_s}"
+            )
+        if self.sid < 0:
+            raise SimulationError(f"{_at(self)}: sid must be >= 0, got {self.sid}")
+
+
+def _at(event: TraceEvent) -> str:
+    """Diagnostic label naming the offending event (and source line)."""
+    where = f"line {event.line}: " if event.line else ""
+    return f"trace event {where}{event.kind} sid={event.sid} t={event.time_s:g}"
+
+
+def sort_trace(events: Iterable[TraceEvent]) -> tuple[TraceEvent, ...]:
+    """Events in canonical order: time, then arrive < resize < depart,
+    then sid (the same tie-break :mod:`repro.runtime.dynamics` uses)."""
+    return tuple(
+        sorted(events, key=lambda e: (e.time_s, _KIND_RANK[e.kind], e.sid))
+    )
+
+
+# --------------------------------------------------------------------- #
+# File formats                                                          #
+# --------------------------------------------------------------------- #
+
+
+def _parse_csv_line(line: str, lineno: int, origin: str) -> TraceEvent:
+    parts = [part.strip() for part in line.split(",")]
+    if len(parts) != 3:
+        raise SpecError(
+            f"{origin}:{lineno}: expected 'time_s,event,sid', got {line!r}"
+        )
+    raw_time, kind, raw_sid = parts
+    try:
+        time_s = float(raw_time)
+    except ValueError:
+        raise SpecError(
+            f"{origin}:{lineno}: time_s {raw_time!r} is not a number"
+        ) from None
+    try:
+        sid = int(raw_sid)
+    except ValueError:
+        raise SpecError(
+            f"{origin}:{lineno}: sid {raw_sid!r} is not an integer"
+        ) from None
+    try:
+        return TraceEvent(time_s=time_s, kind=kind, sid=sid, line=lineno)
+    except SimulationError as error:
+        raise SpecError(f"{origin}:{lineno}: {error}") from None
+
+
+def _parse_jsonl_line(line: str, lineno: int, origin: str) -> TraceEvent:
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise SpecError(f"{origin}:{lineno}: not valid JSON: {error}") from None
+    if not isinstance(data, dict):
+        raise SpecError(f"{origin}:{lineno}: expected an object, got {data!r}")
+    unknown = sorted(set(data) - {"time_s", "event", "sid"})
+    if unknown:
+        raise SpecError(
+            f"{origin}:{lineno}: unknown key(s) {unknown}; "
+            "expected time_s, event, sid"
+        )
+    missing = [key for key in ("time_s", "event", "sid") if key not in data]
+    if missing:
+        raise SpecError(f"{origin}:{lineno}: missing key(s) {missing}")
+    time_s, kind, sid = data["time_s"], data["event"], data["sid"]
+    if isinstance(time_s, bool) or not isinstance(time_s, (int, float)):
+        raise SpecError(f"{origin}:{lineno}: time_s must be a number, got {time_s!r}")
+    if not isinstance(kind, str):
+        raise SpecError(f"{origin}:{lineno}: event must be a string, got {kind!r}")
+    if isinstance(sid, bool) or not isinstance(sid, int):
+        raise SpecError(f"{origin}:{lineno}: sid must be an integer, got {sid!r}")
+    try:
+        return TraceEvent(time_s=float(time_s), kind=kind, sid=sid, line=lineno)
+    except SimulationError as error:
+        raise SpecError(f"{origin}:{lineno}: {error}") from None
+
+
+def parse_trace(
+    text: str, fmt: str = "csv", origin: str = "trace"
+) -> tuple[TraceEvent, ...]:
+    """Parse trace text (``csv`` or ``jsonl``) into canonical event order.
+
+    Blank lines and ``#`` comments are skipped; every malformed row
+    raises :class:`~repro.errors.SpecError` naming ``origin:line``.
+    """
+    if fmt not in ("csv", "jsonl"):
+        raise SpecError(f"unknown trace format {fmt!r}; choose csv or jsonl")
+    events: list[TraceEvent] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if fmt == "csv":
+            if line.replace(" ", "") == TRACE_CSV_HEADER:
+                continue
+            events.append(_parse_csv_line(line, lineno, origin))
+        else:
+            events.append(_parse_jsonl_line(line, lineno, origin))
+    return sort_trace(events)
+
+
+def format_trace(events: Sequence[TraceEvent], fmt: str = "csv") -> str:
+    """Render events as CSV (with header) or JSONL text."""
+    if fmt not in ("csv", "jsonl"):
+        raise SpecError(f"unknown trace format {fmt!r}; choose csv or jsonl")
+    ordered = sort_trace(events)
+    if fmt == "csv":
+        rows = [TRACE_CSV_HEADER]
+        # repr() is the shortest representation that round-trips the
+        # float exactly — export -> play must reproduce the schedule.
+        rows.extend(f"{event.time_s!r},{event.kind},{event.sid}" for event in ordered)
+    else:
+        rows = [
+            json.dumps(
+                {"time_s": event.time_s, "event": event.kind, "sid": event.sid}
+            )
+            for event in ordered
+        ]
+    return "\n".join(rows) + "\n"
+
+
+def trace_format_for_path(path: str | Path) -> str:
+    """``csv`` or ``jsonl``, chosen by the file suffix (default csv)."""
+    return "jsonl" if Path(path).suffix.lower() in (".jsonl", ".json") else "csv"
+
+
+def load_trace(path: str | Path, fmt: str = "") -> tuple[TraceEvent, ...]:
+    """Read and parse a trace file; ``fmt`` overrides suffix dispatch."""
+    path = Path(path)
+    if not path.is_file():
+        raise SpecError(f"trace file {path} does not exist")
+    return parse_trace(
+        path.read_text(encoding="utf-8"),
+        fmt=fmt or trace_format_for_path(path),
+        origin=str(path),
+    )
+
+
+def dump_trace(events: Sequence[TraceEvent], path: str | Path) -> None:
+    """Write a trace file, format chosen by the path suffix."""
+    path = Path(path)
+    path.write_text(format_trace(events, fmt=trace_format_for_path(path)), encoding="utf-8")
+
+
+# --------------------------------------------------------------------- #
+# Trace <-> schedule                                                    #
+# --------------------------------------------------------------------- #
+
+
+def validate_trace(
+    events: Sequence[TraceEvent], max_sessions: int | None = None
+) -> tuple[int, ...]:
+    """Check a trace's invariants; return the initial sid tuple.
+
+    Rejects (naming the offending event, and its source line when the
+    trace was parsed from a file): arrivals of already-active sids,
+    departures/resizes of inactive sids, departures that would empty the
+    conference, an empty active set at t=0, and — when ``max_sessions``
+    is given — any sid outside the workload's session pool.
+    """
+    return _validate_sorted(sort_trace(events), max_sessions)
+
+
+def _validate_sorted(
+    ordered: tuple[TraceEvent, ...], max_sessions: int | None
+) -> tuple[int, ...]:
+    active: set[int] = set()
+    for event in ordered:
+        if max_sessions is not None and event.sid >= max_sessions:
+            raise SimulationError(
+                f"{_at(event)}: sid exceeds the workload's session pool "
+                f"[0, {max_sessions})"
+            )
+        if event.kind == "arrive":
+            if event.sid in active:
+                raise SimulationError(
+                    f"{_at(event)}: session arrives while already active"
+                )
+            active.add(event.sid)
+        elif event.kind == "resize":
+            if event.sid not in active:
+                raise SimulationError(
+                    f"{_at(event)}: session resizes while inactive"
+                )
+        else:
+            if event.sid not in active:
+                raise SimulationError(
+                    f"{_at(event)}: session departs while inactive"
+                )
+            if len(active) == 1:
+                raise SimulationError(
+                    f"{_at(event)}: departure would empty the conference"
+                )
+            active.remove(event.sid)
+    initial = tuple(
+        sorted(e.sid for e in ordered if e.kind == "arrive" and e.time_s == 0.0)
+    )
+    if not initial:
+        raise SimulationError(
+            "trace has no arrivals at t=0: at least one session must be "
+            "active when the run starts"
+        )
+    return initial
+
+
+def schedule_from_trace(
+    events: Sequence[TraceEvent], max_sessions: int | None = None
+) -> DynamicsSchedule:
+    """Lower a trace into a validated :class:`DynamicsSchedule`.
+
+    Arrivals at exactly ``t=0`` become the initially active set; every
+    other event maps one-to-one onto the dynamics event types.
+    """
+    ordered = sort_trace(events)
+    initial = _validate_sorted(ordered, max_sessions)
+    dynamics = tuple(
+        _DYNAMICS_BY_KIND[event.kind](event.time_s, event.sid)
+        for event in ordered
+        if not (event.kind == "arrive" and event.time_s == 0.0)
+    )
+    return DynamicsSchedule(initial_sids=initial, events=dynamics)
+
+
+def trace_from_schedule(schedule: DynamicsSchedule) -> tuple[TraceEvent, ...]:
+    """Export a schedule as a self-contained trace (initial sessions
+    become arrivals at ``t=0``), the inverse of :func:`schedule_from_trace`."""
+    events = [TraceEvent(0.0, "arrive", sid) for sid in schedule.initial_sids]
+    events.extend(
+        TraceEvent(event.time_s, _KIND_BY_DYNAMICS[type(event)], event.sid)
+        for event in schedule.events
+    )
+    return sort_trace(events)
+
+
+# --------------------------------------------------------------------- #
+# Stochastic session processes                                          #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SessionProcess:
+    """A seeded stochastic arrival/departure process over a finite pool.
+
+    Arrivals form a Poisson process at ``rate_per_s`` — constant
+    (``poisson``), two-state Markov-modulated (``mmpp``: the rate
+    switches to ``burst_rate_per_s`` for exponential bursts of mean
+    ``mean_burst_s``, back after calms of mean ``mean_calm_s``), or
+    sinusoidally modulated with period ``diurnal_period_s`` and relative
+    amplitude ``diurnal_amplitude`` (``diurnal``).  Each admitted
+    session holds for an exponential or lognormal time with mean
+    ``mean_holding_s`` and then departs.
+
+    Sessions draw the lowest free sid from the pool ``[0,
+    max_sessions)``; an arrival finding the pool exhausted is blocked
+    (dropped — Erlang-loss behaviour), and a departure that would empty
+    the conference is deferred to the next admitted arrival's timestamp
+    (where canonical ordering lets the arrival land first).  ``initial``
+    sessions are active from ``t=0`` (emitted as arrivals at ``t=0``).
+
+    All randomness flows from one :func:`numpy.random.default_rng`
+    seeded with ``(seed, stream tag)``: traces are bit-for-bit
+    reproducible, and the tag keeps the generator's stream disjoint
+    from a simulator seeded with the same integer (identical streams
+    make generated event times collide exactly with wake countdowns
+    whenever the draw scales match, manufacturing timestamp ties).
+    """
+
+    kind: str = "poisson"
+    rate_per_s: float = 0.05
+    mean_holding_s: float = 60.0
+    holding: str = "exponential"
+    holding_sigma: float = 0.5
+    burst_rate_per_s: float = 0.0
+    mean_burst_s: float = 20.0
+    mean_calm_s: float = 60.0
+    diurnal_period_s: float = 240.0
+    diurnal_amplitude: float = 0.5
+    initial: int = 1
+    max_sessions: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROCESS_KINDS:
+            raise SpecError(
+                f"process kind {self.kind!r} is unknown; "
+                f"choose from {PROCESS_KINDS}"
+            )
+        if self.holding not in HOLDING_KINDS:
+            raise SpecError(
+                f"holding {self.holding!r} is unknown; "
+                f"choose from {HOLDING_KINDS}"
+            )
+        if not self.rate_per_s > 0:
+            raise SpecError(f"rate_per_s must be > 0, got {self.rate_per_s}")
+        if not self.mean_holding_s > 0:
+            raise SpecError(
+                f"mean_holding_s must be > 0, got {self.mean_holding_s}"
+            )
+        if self.holding == "lognormal" and not self.holding_sigma > 0:
+            raise SpecError(
+                f"holding_sigma must be > 0, got {self.holding_sigma}"
+            )
+        if self.kind == "mmpp":
+            if self.burst_rate_per_s < self.rate_per_s:
+                raise SpecError(
+                    "mmpp burst_rate_per_s must be >= rate_per_s, got "
+                    f"{self.burst_rate_per_s} < {self.rate_per_s}"
+                )
+            if not self.mean_burst_s > 0 or not self.mean_calm_s > 0:
+                raise SpecError("mmpp dwell means must be > 0")
+        if self.kind == "diurnal":
+            if not 0.0 <= self.diurnal_amplitude < 1.0:
+                raise SpecError(
+                    f"diurnal_amplitude must be in [0, 1), "
+                    f"got {self.diurnal_amplitude}"
+                )
+            if not self.diurnal_period_s > 0:
+                raise SpecError(
+                    f"diurnal_period_s must be > 0, got {self.diurnal_period_s}"
+                )
+        if self.initial < 1:
+            raise SpecError(f"initial must be >= 1, got {self.initial}")
+        if self.max_sessions < max(2, self.initial):
+            raise SpecError(
+                f"max_sessions must be >= max(2, initial), "
+                f"got {self.max_sessions} (initial={self.initial})"
+            )
+
+    # -- draw helpers -------------------------------------------------- #
+
+    def _holding_time(self, rng: np.random.Generator) -> float:
+        if self.holding == "exponential":
+            return float(rng.exponential(self.mean_holding_s))
+        sigma = self.holding_sigma
+        mu = math.log(self.mean_holding_s) - 0.5 * sigma * sigma
+        return float(rng.lognormal(mu, sigma))
+
+    def _peak_rate(self) -> float:
+        if self.kind == "mmpp":
+            return self.burst_rate_per_s
+        if self.kind == "diurnal":
+            return self.rate_per_s * (1.0 + self.diurnal_amplitude)
+        return self.rate_per_s
+
+    def stream(self, horizon_s: float = math.inf) -> Iterator[TraceEvent]:
+        """Lazily yield the process's events in canonical time order.
+
+        Without a horizon the iterator is unbounded — consumers cut it
+        where they need to — and it never materializes more than the
+        active-session heap.  Pass ``horizon_s`` to make the generator
+        itself stop once every remaining event lies beyond it: that
+        bound also covers the saturated-pool regime, where blocked
+        arrivals yield nothing and a consumer waiting for the next
+        event to cross its cutoff would otherwise spin through
+        ~``rate * holding`` rejected candidates first.
+        """
+        rng = np.random.default_rng([self.seed, _TRACE_STREAM_TAG])
+        peak = self._peak_rate()
+        # Two-state MMPP trajectory, advanced lazily alongside thinning.
+        bursting = False
+        next_switch = (
+            float(rng.exponential(self.mean_calm_s))
+            if self.kind == "mmpp"
+            else math.inf
+        )
+
+        def rate_at(t: float) -> float:
+            nonlocal bursting, next_switch
+            if self.kind == "mmpp":
+                while t >= next_switch:
+                    bursting = not bursting
+                    dwell = self.mean_burst_s if bursting else self.mean_calm_s
+                    next_switch += float(rng.exponential(dwell))
+                return self.burst_rate_per_s if bursting else self.rate_per_s
+            if self.kind == "diurnal":
+                phase = math.sin(2.0 * math.pi * t / self.diurnal_period_s)
+                return self.rate_per_s * (1.0 + self.diurnal_amplitude * phase)
+            return self.rate_per_s
+
+        def next_arrival_after(t: float) -> float:
+            # Thinning (Lewis-Shedler): exact for every rate shape here.
+            while True:
+                t += float(rng.exponential(1.0 / peak))
+                if rng.random() * peak <= rate_at(t):
+                    return t
+
+        free = list(range(self.initial, self.max_sessions))
+        heapq.heapify(free)
+        departures: list[tuple[float, int]] = []
+        active = 0
+        pending: list[TraceEvent] = []
+        for sid in range(self.initial):
+            pending.append(TraceEvent(0.0, "arrive", sid))
+            heapq.heappush(departures, (self._holding_time(rng), sid))
+            active += 1
+        yield from sort_trace(pending)
+
+        next_arrival = next_arrival_after(0.0)
+        while True:
+            if next_arrival > horizon_s and (
+                not departures or departures[0][0] > horizon_s
+            ):
+                return
+            if departures and departures[0][0] < next_arrival:
+                depart_at, sid = heapq.heappop(departures)
+                if active == 1:
+                    # Deferring to the next arrival's own timestamp keeps
+                    # the conference occupied: arrivals sort first.
+                    heapq.heappush(departures, (next_arrival, sid))
+                    continue
+                active -= 1
+                heapq.heappush(free, sid)
+                yield TraceEvent(depart_at, "depart", sid)
+                continue
+            arrive_at = next_arrival
+            next_arrival = next_arrival_after(arrive_at)
+            if not free:
+                continue  # pool exhausted: the arrival is blocked
+            sid = heapq.heappop(free)
+            active += 1
+            heapq.heappush(
+                departures, (arrive_at + self._holding_time(rng), sid)
+            )
+            yield TraceEvent(arrive_at, "arrive", sid)
+
+    def trace(self, duration_s: float) -> tuple[TraceEvent, ...]:
+        """Materialize the stream up to ``duration_s`` (inclusive)."""
+        if not duration_s > 0:
+            raise SpecError(f"duration_s must be > 0, got {duration_s}")
+        events: list[TraceEvent] = []
+        for event in self.stream(horizon_s=duration_s):
+            if event.time_s > duration_s:
+                break
+            events.append(event)
+        return sort_trace(events)
+
+    def schedule(self, duration_s: float) -> DynamicsSchedule:
+        """Generate and lower a trace in one step."""
+        return schedule_from_trace(self.trace(duration_s))
+
+
+# --------------------------------------------------------------------- #
+# The open-loop player                                                  #
+# --------------------------------------------------------------------- #
+
+
+class TracePlayer:
+    """Open-loop event feed for the simulator.
+
+    Wraps an initially active sid set plus a (possibly unbounded,
+    lazily produced) time-ordered event iterator, and hands the
+    simulator one *timestamp batch* at a time — all events sharing the
+    next ``time_s``, in canonical order — so the run never materializes
+    the full schedule.  Streamed events are validated incrementally
+    against the live active set; a violation raises
+    :class:`~repro.errors.SimulationError` naming the offending event.
+    """
+
+    def __init__(
+        self,
+        initial_sids: Sequence[int],
+        events: Iterable[DynamicsEvent],
+        validate: bool = True,
+    ) -> None:
+        self._initial = tuple(initial_sids)
+        if len(set(self._initial)) != len(self._initial):
+            raise SimulationError("duplicate initial sessions")
+        self._events = iter(events)
+        self._validate = validate
+        self._active = set(self._initial)
+        self._last_time = 0.0
+        self._lookahead: DynamicsEvent | None = None
+        self._exhausted = False
+        self._streamed = 0
+
+    @classmethod
+    def from_schedule(cls, schedule: DynamicsSchedule) -> "TracePlayer":
+        """Play a pre-validated schedule (no per-event re-validation)."""
+        return cls(schedule.initial_sids, iter(schedule.events), validate=False)
+
+    @classmethod
+    def from_trace(
+        cls, events: Iterable[TraceEvent], initial: int = 0
+    ) -> "TracePlayer":
+        """Play a trace-event stream open-loop.
+
+        The initial set is the union of sids ``[0, initial)`` and the
+        stream's leading arrivals at exactly ``t=0``; an explicit t=0
+        arrival of a sid already covered by ``initial`` is a double
+        arrival and raises.  The stream is consumed lazily, so
+        unbounded generators are fine — but it must already be
+        time-ordered (generated streams are).
+        """
+        iterator = iter(events)
+        initial_sids = set(range(initial))
+        lookahead: TraceEvent | None = None
+        for event in iterator:
+            if event.time_s == 0.0 and event.kind == "arrive":
+                if event.sid in initial_sids:
+                    raise SimulationError(
+                        f"{_at(event)}: session arrives while already active"
+                    )
+                initial_sids.add(event.sid)
+            else:
+                lookahead = event
+                break
+        if not initial_sids:
+            raise SimulationError(
+                "trace has no arrivals at t=0: at least one session must "
+                "be active when the run starts"
+            )
+
+        def dynamics() -> Iterator[DynamicsEvent]:
+            if lookahead is not None:
+                yield _DYNAMICS_BY_KIND[lookahead.kind](
+                    lookahead.time_s, lookahead.sid
+                )
+            for event in iterator:
+                yield _DYNAMICS_BY_KIND[event.kind](event.time_s, event.sid)
+
+        return cls(sorted(initial_sids), dynamics(), validate=True)
+
+    @property
+    def initial_sids(self) -> tuple[int, ...]:
+        """Sessions active at ``t=0``."""
+        return self._initial
+
+    @property
+    def events_streamed(self) -> int:
+        """Events handed out so far (the open-loop progress counter)."""
+        return self._streamed
+
+    def _check(self, event: DynamicsEvent) -> None:
+        if event.time_s < self._last_time:
+            raise SimulationError(
+                f"trace events out of order: {type(event).__name__} of "
+                f"session {event.sid} at t={event.time_s:g} after "
+                f"t={self._last_time:g}"
+            )
+        if not self._validate:
+            return
+        if event.time_s < 0:
+            raise SimulationError(f"negative event time {event.time_s}")
+        if isinstance(event, SessionArrival):
+            if event.sid in self._active:
+                raise SimulationError(f"session {event.sid} arrives twice")
+            self._active.add(event.sid)
+        elif isinstance(event, SessionResize):
+            if event.sid not in self._active:
+                raise SimulationError(
+                    f"session {event.sid} resizes while inactive"
+                )
+        else:
+            if event.sid not in self._active:
+                raise SimulationError(
+                    f"session {event.sid} departs while inactive"
+                )
+            if len(self._active) == 1:
+                raise SimulationError(
+                    f"session {event.sid} departing at t={event.time_s:g} "
+                    "would empty the conference"
+                )
+            self._active.remove(event.sid)
+
+    def _pull(self) -> DynamicsEvent | None:
+        if self._lookahead is not None:
+            event, self._lookahead = self._lookahead, None
+            return event
+        if self._exhausted:
+            return None
+        event = next(self._events, None)
+        if event is None:
+            self._exhausted = True
+        return event
+
+    def next_batch(self, limit_s: float = math.inf) -> list[DynamicsEvent]:
+        """All events at the next timestamp ``<= limit_s`` (empty when the
+        stream is exhausted or the next event lies beyond the horizon)."""
+        first = self._pull()
+        if first is None:
+            return []
+        if first.time_s > limit_s:
+            # Sorted stream: nothing at or before the horizon remains.
+            self._exhausted = True
+            self._lookahead = None
+            return []
+        batch = [first]
+        while True:
+            event = self._pull()
+            if event is None:
+                break
+            if event.time_s != first.time_s:
+                self._lookahead = event
+                break
+            batch.append(event)
+        batch = list(canonical_event_order(batch))
+        for event in batch:
+            self._check(event)
+        self._last_time = first.time_s
+        self._streamed += len(batch)
+        return batch
+
+
+def replay_speed(events: Sequence[TraceEvent], factor: float) -> tuple[TraceEvent, ...]:
+    """Time-scale a trace by ``factor`` (> 1 compresses, < 1 stretches):
+    the cheap knob for churn-intensity sweeps over one recorded trace."""
+    if not factor > 0:
+        raise SpecError(f"replay factor must be > 0, got {factor}")
+    return sort_trace(
+        replace(event, time_s=event.time_s / factor) for event in events
+    )

@@ -62,6 +62,39 @@ def test_documented_command_parses(doc, command):
         )
 
 
+class TestChurnSweepWalkthrough:
+    """The EXPERIMENTS.md churn-sweep commands actually execute."""
+
+    @pytest.fixture(scope="class")
+    def walkthrough(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        section = text.split("## Churn sweeps", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        commands = fenced_repro_commands(section)
+        assert len(commands) == 4, commands
+        return commands
+
+    def test_walkthrough_executes(self, walkthrough, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        for command in walkthrough:
+            argv = shlex.split(command)[1:]
+            assert main(argv) == 0, f"walkthrough command failed: {command}"
+        trace_text = (tmp_path / "runs/churn.csv").read_text(encoding="utf-8")
+        assert trace_text.startswith("time_s,event,sid\n")
+        results = (tmp_path / "runs/churn-sweep/results.jsonl").read_text(
+            encoding="utf-8"
+        )
+        records = [json.loads(line) for line in results.splitlines()]
+        assert len(records) == 4
+        assert all(record["status"] == "ok" for record in records)
+        assert {r["axes"]["churn.trace.rate_per_s"] for r in records} == {
+            0.05,
+            0.2,
+        }
+
+
 class TestComparingFleetsWalkthrough:
     """The EXPERIMENTS.md walkthrough commands actually execute."""
 
