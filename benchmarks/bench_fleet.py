@@ -5,15 +5,24 @@ tiny prototype conference through the fleet orchestrator, serially and
 on a 2-process pool, and reports end-to-end runs/sec.  A third target
 measures the skip/resume cache: re-running an unchanged spec must do no
 solver work at all; a fourth measures the shared-substrate cache: a
-solver-axis sweep synthesizes its latency matrices exactly once.
+solver-axis sweep synthesizes its latency matrices exactly once.  The
+backend targets run the same matrix through each pluggable execution
+backend (serial / local / subprocess) asserting identical canonical
+results, and the halving target checks a budgeted sweep executes
+(and pays for) fewer units than the full grid.
 """
 
 from __future__ import annotations
 
+import pytest
+
+from repro.analysis.report import canonical_results_digest
 from repro.fleet.compile import compile_spec, substrate_cache_info
 from repro.fleet.orchestrator import FleetOrchestrator, expand_matrix
 from repro.fleet.spec import (
     AxisSpec,
+    ExecutionSpec,
+    HalvingSpec,
     RunSpec,
     SimulationSpec,
     SweepSpec,
@@ -100,6 +109,72 @@ def test_fleet_cache_skip(benchmark, tmp_path, prototype_seed):
     benchmark.extra_info["cached_runs"] = result.skipped
     # A cache hit must be orders of magnitude faster than solving.
     assert benchmark.stats.stats.mean < 1.0
+
+
+@pytest.mark.parametrize("backend", ["serial", "local", "subprocess"])
+def test_fleet_backend_throughput(benchmark, tmp_path, prototype_seed, backend):
+    """End-to-end runs/sec of the 8-unit matrix on each backend.
+
+    Besides the timing, every backend must reproduce the identical
+    canonical results digest — dispatch mechanics never show in the
+    records.
+    """
+    spec = _sweep_spec(prototype_seed)
+    expected = len(expand_matrix(spec))
+
+    counter = iter(range(1_000_000))
+
+    def run():
+        out = tmp_path / f"{backend}-{next(counter)}"
+        result = FleetOrchestrator(out, workers=2, backend=backend).run(spec)
+        return result, canonical_results_digest(out)
+
+    result, digest = benchmark.pedantic(run, rounds=1, iterations=1)
+    _check(result, expected)
+    reference_out = tmp_path / "reference"
+    FleetOrchestrator(reference_out, workers=1, backend="serial").run(spec)
+    assert digest == canonical_results_digest(reference_out)
+    runs_per_sec = expected / benchmark.stats.stats.mean
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["runs_per_sec"] = runs_per_sec
+    print(f"\n  {backend}: {expected} runs, {runs_per_sec:.2f} runs/sec")
+
+
+def test_fleet_halving_executes_fewer_units(benchmark, tmp_path, prototype_seed):
+    """A successive-halving sweep pays for fewer units than the grid.
+
+    4 beta points x 2 replicates with one rung after the first
+    replicate: 4 + ceil(4/2) = 6 of 8 units execute; the other 2 are
+    recorded as pruned without a single solve.
+    """
+    spec = RunSpec(
+        name="bench-halving",
+        workload=WorkloadSpec(kind="prototype", num_sessions=2),
+        simulation=SimulationSpec(
+            duration_s=6.0, hop_interval_mean_s=3.0, seed=prototype_seed
+        ),
+        sweep=SweepSpec(
+            replicates=2,
+            axes=(AxisSpec(path="solver.beta", values=(100, 200, 400, 800)),),
+        ),
+        execution=ExecutionSpec(halving=HalvingSpec(rungs=(1,))),
+    )
+    total = len(expand_matrix(spec))
+
+    counter = iter(range(1_000_000))
+
+    def run():
+        out = tmp_path / f"halved-{next(counter)}"
+        return FleetOrchestrator(out, workers=1).run(spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.executed == 6 < total == 8
+    assert result.pruned == 2
+    assert result.failed == 0
+    benchmark.extra_info["executed"] = result.executed
+    benchmark.extra_info["pruned"] = result.pruned
+    print(f"\n  halving: {result.executed}/{total} executed, "
+          f"{result.pruned} pruned")
 
 
 def test_fleet_substrate_cache_compile(benchmark):

@@ -19,6 +19,7 @@ from repro.analysis.html import render_html, sparkline_svg
 from repro.analysis.report import (
     ENVELOPE_FIELDS,
     FLEET_METRIC_FIELDS,
+    RECORD_STATUSES,
     REPORT_METRICS,
     SCHEMA_VERSION,
     SUMMARY_METRICS,
@@ -26,6 +27,7 @@ from repro.analysis.report import (
     FleetRun,
     MetricStats,
     aggregate_records,
+    canonical_results_digest,
     compare_fleets,
     comparison_csv,
     flatten_spec,
@@ -51,12 +53,14 @@ __all__ = [
     "FleetComparison",
     "FleetRun",
     "MetricStats",
+    "RECORD_STATUSES",
     "REPORT_METRICS",
     "SCHEMA_VERSION",
     "SUMMARY_METRICS",
     "aggregate_records",
     "bootstrap_ci",
     "box_stats",
+    "canonical_results_digest",
     "compare_fleets",
     "comparison_csv",
     "convergence_time",

@@ -43,20 +43,30 @@ from repro.errors import SpecError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.fleet.spec import RunSpec
 
-#: Version stamped into every record this tree writes.
-SCHEMA_VERSION = 1
+#: Version stamped into every record this tree writes.  Version 2 adds
+#: the ``"timeout"`` / ``"pruned"`` statuses and the optional ``rung`` /
+#: ``attempts`` envelope fields (execution backends + budgets); every
+#: version-1 record is also a valid version-2 record.
+SCHEMA_VERSION = 2
+
+#: Statuses a record may carry: executed fine, executed-and-failed,
+#: killed by the per-unit wall-time budget, or abandoned by
+#: successive halving without executing.
+RECORD_STATUSES: tuple[str, ...] = ("ok", "error", "timeout", "pruned")
 
 #: Closed envelope shared by fleet and experiment records:
 #: ``name -> (accepted types, required?, provenance)``.
 ENVELOPE_FIELDS: dict[str, tuple[tuple[type, ...], bool, str]] = {
     "schema_version": ((int,), True, "record format version (this file)"),
     "name": ((str,), True, "spec / experiment name"),
-    "status": ((str,), True, '"ok" or "error"'),
-    "error": ((str,), False, '"Type: message" when status == "error"'),
+    "status": ((str,), True, '"ok", "error", "timeout" or "pruned"'),
+    "error": ((str,), False, '"Type: message" when the unit did not finish'),
     "run_id": ((str,), False, "content-hash of the resolved spec (fleet)"),
     "axes": ((dict,), False, "sweep-axis path -> value labels"),
     "seed": ((int,), False, "resolved simulation seed"),
     "wall_time_s": ((float, int), False, "worker wall time (nondeterministic)"),
+    "rung": ((int,), False, "halving rung index at which the unit was pruned"),
+    "attempts": ((int,), False, "executions incl. crash retries (when > 1)"),
 }
 
 #: Closed metric payload of fleet records (``execute_spec`` provenance).
@@ -257,6 +267,38 @@ def load_result_records(path: str | Path) -> list[dict]:
     return records
 
 
+#: Record fields excluded from :func:`canonical_results_digest`:
+#: ``wall_time_s`` is wall-clock noise and ``attempts`` depends on
+#: nondeterministic worker crashes — everything else must reproduce.
+VOLATILE_RECORD_FIELDS: tuple[str, ...] = ("wall_time_s", "attempts")
+
+
+def canonical_results_digest(out_dir: str | Path) -> str:
+    """Deterministic SHA-256 of a run directory's ``results.jsonl``.
+
+    Records are loaded (not upgraded), stripped of
+    :data:`VOLATILE_RECORD_FIELDS`, re-serialized with sorted keys and
+    hashed in file order.  Two fleets that computed the same thing —
+    e.g. one spec dispatched through different execution backends —
+    digest identically; the cross-backend equivalence tests and the CI
+    backend matrix compare exactly this value.
+    """
+    import hashlib
+
+    from repro.fleet.orchestrator import load_records
+
+    digest = hashlib.sha256()
+    for record in load_records(out_dir):
+        slim = {
+            key: value
+            for key, value in record.items()
+            if key not in VOLATILE_RECORD_FIELDS
+        }
+        digest.update(json.dumps(slim, sort_keys=True).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
 @dataclass
 class FleetRun:
     """One loaded fleet run directory: records plus the stored spec."""
@@ -272,9 +314,24 @@ class FleetRun:
         return [r for r in self.records if r.get("status") == "ok"]
 
     @property
+    def pruned(self) -> int:
+        """Units abandoned by successive halving (never executed)."""
+        return sum(1 for r in self.records if r.get("status") == "pruned")
+
+    @property
+    def timed_out(self) -> int:
+        """Units killed by the per-unit wall-time budget."""
+        return sum(1 for r in self.records if r.get("status") == "timeout")
+
+    @property
     def failed(self) -> int:
-        """Number of failed units."""
-        return len(self.records) - len(self.ok_records)
+        """Number of failed units (pruned units are not failures)."""
+        return (
+            len(self.records)
+            - len(self.ok_records)
+            - self.pruned
+            - self.timed_out
+        )
 
 
 def load_fleet_run(out_dir: str | Path, label: str = "") -> FleetRun:
@@ -696,10 +753,19 @@ def aggregate_records(
 
 
 def render_run_report(run: FleetRun) -> str:
-    """Single-directory report: record counts plus the summary table."""
-    ok = len(run.ok_records)
+    """Single-directory report: record counts plus the summary table.
+
+    Pruned (halving-abandoned) and timed-out (budget-killed) units are
+    reported separately from failures — a pruned unit is a scheduling
+    decision, not a broken run.
+    """
+    counts = [f"{len(run.ok_records)} ok", f"{run.failed} failed"]
+    if run.pruned:
+        counts.append(f"{run.pruned} pruned")
+    if run.timed_out:
+        counts.append(f"{run.timed_out} timed out")
     lines = [
-        f"{len(run.records)} runs recorded ({ok} ok, {run.failed} failed)",
+        f"{len(run.records)} runs recorded ({', '.join(counts)})",
         "",
         aggregate_records(
             run.records, title=f"fleet {run.label!r} summary"

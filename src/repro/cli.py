@@ -11,7 +11,9 @@ Examples::
     repro fleet list
     repro fleet run prototype_smoke --workers 2
     repro fleet run my_spec.yaml --out runs/my_spec
+    repro fleet run prototype_smoke --backend subprocess --budget 60
     repro fleet sweep beta_locality --axis solver.beta=200,400 --replicates 3
+    repro fleet sweep beta_locality --replicates 4 --halving 1,2
     repro fleet report fleet_runs/prototype_smoke
     repro fleet report runs/base --compare runs/beta200 --csv cmp.csv
     repro fleet report --compare runs/base runs/beta200 --html cmp.html
@@ -79,6 +81,8 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_sub.add_parser("list", help="list bundled library specs")
 
     def add_exec_args(sub: argparse.ArgumentParser) -> None:
+        from repro.fleet.spec import BACKEND_KINDS
+
         sub.add_argument(
             "spec", help="path to a YAML/JSON spec, or a library spec name"
         )
@@ -90,8 +94,33 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--workers",
             type=int,
-            default=1,
-            help="worker processes (<= 1 runs serially in-process)",
+            default=None,
+            help="worker processes (<= 1 runs serially; default: the "
+            "spec's execution.workers)",
+        )
+        sub.add_argument(
+            "--backend",
+            choices=BACKEND_KINDS,
+            default=None,
+            help="execution backend (default: the spec's "
+            "execution.backend, normally 'local')",
+        )
+        sub.add_argument(
+            "--budget",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-unit wall-time budget; over-budget units are "
+            "recorded as status 'timeout' (default: the spec's "
+            "execution.unit_timeout_s)",
+        )
+        sub.add_argument(
+            "--halving",
+            default="",
+            metavar="R1[,R2...]",
+            help="successive-halving rungs: after each cumulative "
+            "replicate count, keep the best ceil(n/eta) grid points "
+            "and record the rest as status 'pruned'",
         )
         sub.add_argument(
             "--no-resume",
@@ -370,7 +399,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
         overrides[path] = _parse_scalar(value)
     axes = getattr(args, "axes", None)
     replicates = getattr(args, "replicates", None)
-    if overrides or axes or replicates is not None:
+    if overrides or axes or replicates is not None or args.halving:
         data = spec.to_dict()
         if axes:
             data["sweep"]["axes"] = [
@@ -384,17 +413,32 @@ def _run_fleet(args: argparse.Namespace) -> int:
             ]
         if replicates is not None:
             data["sweep"]["replicates"] = replicates
+        if args.halving:
+            try:
+                rungs = [
+                    int(rung) for rung in args.halving.split(",") if rung
+                ]
+            except ValueError:
+                raise SpecError(
+                    f"--halving expects comma-separated integers, "
+                    f"got {args.halving!r}"
+                ) from None
+            data["execution"]["halving"]["rungs"] = rungs
         for path, value in overrides.items():
             apply_override(data, path, value)
         spec = type(spec).from_dict(data)
 
     out_dir = args.out or str(Path("fleet_runs") / spec.name)
     orchestrator = FleetOrchestrator(
-        out_dir, workers=args.workers, resume=not args.no_resume
+        out_dir,
+        workers=args.workers,
+        resume=not args.no_resume,
+        backend=args.backend,
+        unit_timeout_s=args.budget,
     )
     result = orchestrator.run(spec)
     print(result.format_report())
-    return 1 if result.failed else 0
+    return 1 if result.failed or result.timed_out else 0
 
 
 def _read_trace(args: argparse.Namespace):

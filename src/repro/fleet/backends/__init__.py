@@ -1,0 +1,66 @@
+"""Pluggable execution backends for the fleet orchestrator.
+
+The orchestration stack is layered so *where* run units execute is a
+swappable choice (DESIGN.md "Execution backends & budgets"):
+
+* :class:`~repro.fleet.backends.base.RunPayload` — one unit as plain
+  picklable data (run id, resolved spec dict, axes, seed);
+* :class:`~repro.fleet.backends.base.ExecutionBackend` — the contract:
+  a batch of payloads in, one result record per payload streamed back;
+* :mod:`~repro.fleet.backends.serial` — in-process, sequential;
+* :mod:`~repro.fleet.backends.local` — ``multiprocessing`` on this
+  machine (the extracted legacy pool; managed per-unit processes when a
+  wall-time budget must kill);
+* :mod:`~repro.fleet.backends.subproc` — self-contained worker
+  commands (``python -m repro.fleet.backends.worker`` by default), the
+  stepping stone to SSH/container dispatch.
+
+All backends are record-equivalent: the same spec produces bit-for-bit
+identical records (modulo the nondeterministic ``wall_time_s``) on any
+of them, which ``tests/test_fleet_backends.py`` and the CI backend
+matrix pin.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecError
+from repro.fleet.backends.base import (
+    ExecutionBackend,
+    RunPayload,
+    crash_record,
+    timeout_record,
+)
+from repro.fleet.backends.local import LocalBackend
+from repro.fleet.backends.serial import SerialBackend
+from repro.fleet.backends.subproc import SubprocessBackend, default_worker_cmd
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "LocalBackend",
+    "RunPayload",
+    "SerialBackend",
+    "SubprocessBackend",
+    "crash_record",
+    "create_backend",
+    "default_worker_cmd",
+    "timeout_record",
+]
+
+#: Registry: ``execution.backend`` spec value -> implementation.
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SerialBackend.kind: SerialBackend,
+    LocalBackend.kind: LocalBackend,
+    SubprocessBackend.kind: SubprocessBackend,
+}
+
+
+def create_backend(kind: str, workers: int = 1) -> ExecutionBackend:
+    """Instantiate a registered backend by its spec name."""
+    cls = BACKENDS.get(kind)
+    if cls is None:
+        raise SpecError(
+            f"unknown execution backend {kind!r}; "
+            f"choose from {sorted(BACKENDS)}"
+        )
+    return cls(workers=workers)

@@ -1,0 +1,145 @@
+"""Backend contract: payloads in, result records out.
+
+A :class:`RunPayload` is the wire format of one run unit — plain
+picklable data (content-hash id, resolved spec dict, axis labels, seed)
+with no live objects, so it crosses process and machine boundaries
+unchanged.  An :class:`ExecutionBackend` consumes a batch of payloads
+and yields one result record per payload as each completes (completion
+order is backend-defined; every record carries its ``run_id`` so the
+caller can re-associate them).
+
+Backends never raise for a unit's failure; they *classify* it in the
+record's ``status``:
+
+* ``"ok"`` / ``"error"`` — the unit executed (the spec may have failed
+  to compile or simulate); produced by
+  :func:`repro.fleet.compile.execute_payload` on the worker side.
+* ``"timeout"`` — the unit exceeded the caller's per-unit wall-time
+  budget and was killed (or, on the serial backend, detected after the
+  fact).
+* ``"crashed"`` — the worker died without producing a record.  This
+  status is internal: the scheduler retries crashed units and persists
+  the survivors of ``execution.max_retries`` as ``"error"`` records, so
+  ``"crashed"`` never reaches ``results.jsonl``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterator, Sequence
+
+from repro.analysis.report import SCHEMA_VERSION
+from repro.errors import SpecError
+from repro.fleet.compile import execute_payload
+
+
+@dataclass(frozen=True)
+class RunPayload:
+    """One self-contained, picklable unit of work."""
+
+    run_id: str
+    #: The resolved (sweep-free) spec as a plain dict — the payload must
+    #: not carry live objects, so it can cross process/host boundaries.
+    spec: dict
+    axes: dict = field(default_factory=dict)
+    seed: int = 0
+
+    @classmethod
+    def from_unit(cls, unit) -> "RunPayload":
+        """The payload of one :class:`~repro.fleet.matrix.RunUnit`."""
+        return cls(
+            run_id=unit.run_id,
+            spec=unit.spec.to_dict(),
+            axes=dict(unit.axes),
+            seed=unit.seed,
+        )
+
+    @property
+    def name(self) -> str:
+        """The spec name the payload's records are stamped with."""
+        return str(self.spec.get("name", ""))
+
+    def execute(self) -> dict:
+        """Run the payload in-process via the shared worker entry."""
+        return execute_payload(self.run_id, self.spec, self.axes, self.seed)
+
+    def to_wire(self) -> dict:
+        """Plain-dict form shipped to subprocess/remote workers."""
+        return {
+            "run_id": self.run_id,
+            "spec": self.spec,
+            "axes": self.axes,
+            "seed": self.seed,
+        }
+
+
+def timeout_record(
+    payload: RunPayload, timeout_s: float, wall_time_s: float
+) -> dict:
+    """The first-class record of a unit killed by its wall-time budget."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": payload.name,
+        "status": "timeout",
+        "error": (
+            f"UnitTimeout: exceeded execution.unit_timeout_s="
+            f"{timeout_s:g}s (ran {wall_time_s:.3f}s)"
+        ),
+        "run_id": payload.run_id,
+        "axes": payload.axes,
+        "seed": payload.seed,
+        "wall_time_s": wall_time_s,
+    }
+
+
+def crash_record(
+    payload: RunPayload, detail: str, wall_time_s: float
+) -> dict:
+    """The (scheduler-internal) record of a worker that died mid-unit."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": payload.name,
+        "status": "crashed",
+        "error": f"WorkerCrash: {detail}",
+        "run_id": payload.run_id,
+        "axes": payload.axes,
+        "seed": payload.seed,
+        "wall_time_s": wall_time_s,
+    }
+
+
+class ExecutionBackend(ABC):
+    """Dispatches run-unit payloads and streams back result records.
+
+    Implementations differ only in *where* the worker entry
+    (:func:`repro.fleet.compile.execute_payload`) runs — the calling
+    process, a ``multiprocessing`` pool, or a spawned worker command —
+    and in how hard they can enforce a per-unit wall-time budget.  All
+    of them must yield exactly one record per payload, in any order,
+    and must never let one unit's failure abandon the rest of the
+    batch.  (One documented legacy exception: the local backend's
+    unbudgeted pool cannot detect a *hard* worker death — see
+    :mod:`repro.fleet.backends.local`.)
+    """
+
+    #: Registry name of the backend ("serial" / "local" / "subprocess").
+    kind: ClassVar[str] = ""
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 0:
+            raise SpecError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+
+    @abstractmethod
+    def execute(
+        self,
+        payloads: Sequence[RunPayload],
+        timeout_s: float | None = None,
+    ) -> Iterator[dict]:
+        """Yield one result record per payload as each completes.
+
+        ``timeout_s`` is the per-unit wall-time budget (None or 0
+        disables it); over-budget units come back as ``"timeout"``
+        records, dead workers as ``"crashed"`` records.
+        """

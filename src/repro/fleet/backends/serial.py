@@ -1,0 +1,39 @@
+"""In-process serial backend: the zero-dependency reference dispatcher.
+
+Runs every payload in the calling process, one after another.  Being
+in-process it cannot preempt a running unit, so a wall-time budget is
+enforced *post hoc*: an over-budget unit completes its solve and is
+then recorded as ``status: "timeout"`` (with the same record shape the
+killing backends produce), which keeps budget semantics consistent
+across backends at the price of not actually saving the wall time.
+Use ``local`` or ``subprocess`` when budgets must kill.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.fleet.backends.base import (
+    ExecutionBackend,
+    RunPayload,
+    timeout_record,
+)
+
+
+class SerialBackend(ExecutionBackend):
+    """Executes payloads sequentially in the calling process."""
+
+    kind = "serial"
+
+    def execute(
+        self,
+        payloads: Sequence[RunPayload],
+        timeout_s: float | None = None,
+    ) -> Iterator[dict]:
+        """Run payloads in order; budgets are detected after the fact."""
+        for payload in payloads:
+            record = payload.execute()
+            wall = record.get("wall_time_s", 0.0)
+            if timeout_s and wall > timeout_s:
+                record = timeout_record(payload, timeout_s, wall)
+            yield record

@@ -1,0 +1,191 @@
+"""Subprocess backend: payloads dispatched through worker commands.
+
+Each unit spawns one worker command (default: ``python -m
+repro.fleet.backends.worker`` under the current interpreter), ships the
+pickled payload over the worker's stdin and reads one JSON record back
+from its stdout.  The payload is self-contained plain data, so the
+worker command is the *only* coupling between dispatcher and worker —
+pointing ``worker_cmd`` at ``ssh host python -m ...`` or ``docker run
+...`` turns this into a remote backend without touching the
+orchestration layers (the stepping stone the ROADMAP's "Distributed
+execution backends" item asks for).
+
+Budget and failure semantics are the strongest of the three bundled
+backends: over-deadline workers are killed (``"timeout"`` records), and
+workers that exit nonzero or emit an unreadable record are classified
+``"crashed"`` with the exit code and a stderr excerpt in the
+diagnostic, for the scheduler to retry.  Worker output is spooled to
+unlinked temp files rather than pipes, so a worker emitting more than
+one pipe buffer can never deadlock against a dispatcher that only
+polls for exit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator, Sequence
+
+from repro.fleet.backends.base import (
+    ExecutionBackend,
+    RunPayload,
+    crash_record,
+    timeout_record,
+)
+
+#: Poll interval of the dispatch loop.
+_POLL_S = 0.02
+
+#: Characters of stderr quoted in crash diagnostics.
+_STDERR_EXCERPT = 400
+
+
+def default_worker_cmd() -> list[str]:
+    """The bundled worker: this interpreter running the worker module."""
+    return [sys.executable, "-m", "repro.fleet.backends.worker"]
+
+
+def _worker_env() -> dict[str, str]:
+    """Child environment with the ``repro`` package made importable.
+
+    ``PYTHONPATH=src`` style relative entries break when the fleet runs
+    from another working directory, so the absolute directory holding
+    the installed/checked-out ``repro`` package is prepended.
+    """
+    import repro
+
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    entries = [package_root] + [p for p in existing.split(os.pathsep) if p]
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(entries))
+    return env
+
+
+@dataclass
+class _Worker:
+    """One in-flight worker process and its spooled output."""
+
+    process: subprocess.Popen
+    payload: RunPayload
+    out: IO[bytes]
+    err: IO[bytes]
+    started: float
+    deadline: float | None
+
+    def close(self) -> None:
+        """Release the spooled output files."""
+        self.out.close()
+        self.err.close()
+
+    def kill(self) -> None:
+        """Terminate the worker and release its resources."""
+        self.process.kill()
+        self.process.wait()
+        self.close()
+
+
+class SubprocessBackend(ExecutionBackend):
+    """Runs each payload through a (configurable) worker command."""
+
+    kind = "subprocess"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        worker_cmd: Sequence[str] | None = None,
+    ) -> None:
+        super().__init__(workers=workers)
+        self.worker_cmd = (
+            list(worker_cmd) if worker_cmd else default_worker_cmd()
+        )
+
+    def _spawn(self, payload: RunPayload, timeout_s: float | None) -> _Worker:
+        """Start one worker and hand it the pickled payload on stdin."""
+        out = tempfile.TemporaryFile()
+        err = tempfile.TemporaryFile()
+        process = subprocess.Popen(
+            self.worker_cmd,
+            stdin=subprocess.PIPE,
+            stdout=out,
+            stderr=err,
+            env=_worker_env(),
+        )
+        try:
+            process.stdin.write(pickle.dumps(payload.to_wire()))
+            process.stdin.close()
+        except (BrokenPipeError, OSError):
+            pass  # worker died before reading; classified at reap time
+        started = time.monotonic()
+        return _Worker(
+            process=process,
+            payload=payload,
+            out=out,
+            err=err,
+            started=started,
+            deadline=started + timeout_s if timeout_s else None,
+        )
+
+    def _reap(self, worker: _Worker, wall: float) -> dict:
+        """Record of one exited worker (parse stdout or classify crash)."""
+        worker.out.seek(0)
+        out = worker.out.read()
+        worker.err.seek(0)
+        err = worker.err.read()
+        worker.close()
+        returncode = worker.process.returncode
+        if returncode == 0:
+            try:
+                record = json.loads(out.decode("utf-8"))
+                if isinstance(record, dict) and "status" in record:
+                    return record
+                detail = "worker emitted a non-record JSON document"
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                detail = "worker emitted unreadable output"
+        else:
+            detail = f"worker command exited with code {returncode}"
+        excerpt = err.decode("utf-8", "replace").strip()[-_STDERR_EXCERPT:]
+        if excerpt:
+            detail = f"{detail}; stderr: {excerpt}"
+        return crash_record(worker.payload, detail, wall)
+
+    def execute(
+        self,
+        payloads: Sequence[RunPayload],
+        timeout_s: float | None = None,
+    ) -> Iterator[dict]:
+        """Run up to ``workers`` worker commands concurrently."""
+        workers = max(1, self.workers)
+        pending = deque(payloads)
+        active: list[_Worker] = []
+        try:
+            while pending or active:
+                while pending and len(active) < workers:
+                    active.append(self._spawn(pending.popleft(), timeout_s))
+                progressed = False
+                now = time.monotonic()
+                for worker in list(active):
+                    if worker.process.poll() is not None:
+                        active.remove(worker)
+                        yield self._reap(worker, now - worker.started)
+                        progressed = True
+                    elif worker.deadline is not None and now >= worker.deadline:
+                        active.remove(worker)
+                        worker.kill()
+                        yield timeout_record(
+                            worker.payload, timeout_s, now - worker.started
+                        )
+                        progressed = True
+                if not progressed:
+                    time.sleep(_POLL_S)
+        finally:
+            for worker in active:
+                worker.kill()

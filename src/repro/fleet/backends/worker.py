@@ -1,0 +1,37 @@
+"""Worker entry of the subprocess backend.
+
+``python -m repro.fleet.backends.worker`` reads one pickled payload
+(the ``RunPayload.to_wire()`` dict) from stdin, executes it through the
+shared worker entry :func:`repro.fleet.compile.execute_payload`, and
+writes the resulting record to stdout as one JSON document.  Exit code
+0 means "a record was produced" — including ``status: "error"``
+records for units that failed to compile or simulate; any other exit
+code (or unreadable output) is classified by the dispatcher as a
+worker crash.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import sys
+
+
+def main() -> int:
+    """Read payload from stdin, write the result record to stdout."""
+    payload = pickle.load(sys.stdin.buffer)
+    from repro.fleet.compile import execute_payload
+
+    record = execute_payload(
+        payload["run_id"],
+        payload["spec"],
+        payload["axes"],
+        payload["seed"],
+    )
+    json.dump(record, sys.stdout, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

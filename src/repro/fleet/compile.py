@@ -21,6 +21,7 @@ exposes the hit/build counters.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -271,6 +272,37 @@ def execute_spec(spec: RunSpec) -> dict:
     DESIGN.md "Result records").
     """
     return run_record(compile_spec(spec))
+
+
+def execute_payload(
+    run_id: str, spec_dict: dict, axes: dict, seed: int
+) -> dict:
+    """Execute one self-contained run-unit payload into a result record.
+
+    This is the worker-side entry every execution backend funnels
+    through — the ``multiprocessing`` pool, the in-process serial path
+    and the ``repro.fleet.backends.worker`` subprocess module alike.
+    The payload is plain picklable data (no live objects), so it can
+    cross process and machine boundaries; a unit that fails to compile
+    or simulate comes back as a ``status: "error"`` record rather than
+    an exception, so one bad unit never sinks the fleet.
+    """
+    started = time.perf_counter()
+    try:
+        record = execute_spec(RunSpec.from_dict(spec_dict))
+        record["status"] = "ok"
+    except Exception as error:  # noqa: BLE001 - one bad unit must not sink the fleet
+        record = {
+            "schema_version": SCHEMA_VERSION,
+            "name": str(spec_dict.get("name", "")),
+            "status": "error",
+            "error": f"{type(error).__name__}: {error}",
+        }
+    record["run_id"] = run_id
+    record["axes"] = axes
+    record["seed"] = seed
+    record["wall_time_s"] = time.perf_counter() - started
+    return record
 
 
 def execute_trace(events: Sequence[TraceEvent], spec: RunSpec) -> dict:

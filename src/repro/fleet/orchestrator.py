@@ -1,35 +1,33 @@
-"""Run-matrix expansion, parallel execution, persistence, aggregation.
+"""Fleet front door: caching, persistence, aggregation.
 
-``expand_matrix`` turns one spec with a sweep block into a list of
-:class:`RunUnit` — the grid product of the sweep axes times seed
-replication — each carrying a fully resolved (sweep-free) spec and a
-content-hash run id.  :class:`FleetOrchestrator` executes the matrix
-across a ``multiprocessing`` worker pool (or serially for ``workers <=
-1``), appends each finished run as one JSONL line, skips run ids already
-present on disk (resume caching), and renders aggregate summary tables
-through :mod:`repro.analysis`.
+The execution subsystem is layered (DESIGN.md "Execution backends &
+budgets"): :mod:`repro.fleet.matrix` expands a spec into content-hash
+run units, :mod:`repro.fleet.backends` dispatches self-contained unit
+payloads (in-process, multiprocessing, or worker subprocesses), and
+:mod:`repro.fleet.scheduler` owns ordering, wall-time budgets, crash
+retries and successive-halving early abort.  What remains here is the
+fleet's *bookkeeping*: the skip/resume cache over ``results.jsonl``,
+incremental and atomic persistence, and the summary aggregation every
+finished run renders through :mod:`repro.analysis`.
 """
 
 from __future__ import annotations
 
-import hashlib
-import itertools
 import json
-import multiprocessing
-import time
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.analysis.report import (
     RESULTS_FILENAME,
-    SCHEMA_VERSION,
     SPEC_FILENAME,
     SUMMARY_METRICS,
     aggregate_records,
 )
 from repro.errors import SpecError
-from repro.fleet.compile import execute_spec
-from repro.fleet.spec import RunSpec, spec_hash
+from repro.fleet.matrix import RunUnit, expand_matrix
+from repro.fleet.scheduler import FleetScheduler, substrate_affinity
+from repro.fleet.spec import BACKEND_KINDS, RunSpec
 
 __all__ = [
     "FleetOrchestrator",
@@ -44,91 +42,6 @@ __all__ = [
 SUMMARY_FILENAME = "summary.txt"
 
 
-@dataclass(frozen=True)
-class RunUnit:
-    """One concrete run of the matrix: resolved spec + identity."""
-
-    run_id: str
-    spec: RunSpec
-    #: The sweep-axis values this unit pins (empty for sweep-free specs).
-    axes: dict[str, object] = field(default_factory=dict)
-    seed: int = 0
-
-
-def _unit_run_id(resolved: RunSpec) -> str:
-    """Content-hash id of one resolved unit.
-
-    For ``churn.trace.kind: file`` specs the trace file's *contents*
-    are folded into the id — the spec only names a path, and a resume
-    cache keyed on the path string would silently serve results from an
-    edited trace.  A missing file hashes as the bare spec; compilation
-    raises the real diagnostic.
-    """
-    run_id = spec_hash(resolved)
-    trace = resolved.churn.trace
-    if trace.kind == "file":
-        path = Path(trace.path)
-        if path.is_file():
-            digest = hashlib.sha256(path.read_bytes()).hexdigest()
-            run_id = hashlib.sha256(
-                f"{run_id}:{digest}".encode("utf-8")
-            ).hexdigest()[:12]
-    return run_id
-
-
-def expand_matrix(spec: RunSpec) -> list[RunUnit]:
-    """Expand a spec's sweep block into the full run matrix.
-
-    The grid is the cartesian product of the axes (in declaration order)
-    and each grid point is replicated ``sweep.replicates`` times with
-    seeds ``simulation.seed + i``.  Unit specs are sweep-free and carry a
-    deterministic content-hash id (covering a file trace's contents as
-    well), so re-expanding an unchanged spec reproduces the same ids
-    (the skip/resume cache key).
-    """
-    sweep = spec.sweep
-    axis_paths = [axis.path for axis in sweep.axes]
-    axis_values = [axis.values for axis in sweep.axes]
-    base_seed = spec.simulation.seed
-    units: list[RunUnit] = []
-    for combo in itertools.product(*axis_values) if axis_paths else [()]:
-        axes = dict(zip(axis_paths, combo))
-        for replicate in range(sweep.replicates):
-            overrides: dict[str, object] = dict(axes)
-            overrides["simulation.seed"] = base_seed + replicate
-            resolved = spec.with_overrides(overrides)
-            units.append(
-                RunUnit(
-                    run_id=_unit_run_id(resolved),
-                    spec=resolved,
-                    axes=axes,
-                    seed=base_seed + replicate,
-                )
-            )
-    return units
-
-
-def _execute_payload(payload: tuple[str, dict, dict, int]) -> dict:
-    """Worker entry point (top-level so it pickles for the pool)."""
-    run_id, spec_dict, axes, seed = payload
-    started = time.perf_counter()
-    try:
-        record = execute_spec(RunSpec.from_dict(spec_dict))
-        record["status"] = "ok"
-    except Exception as error:  # noqa: BLE001 - one bad unit must not sink the fleet
-        record = {
-            "schema_version": SCHEMA_VERSION,
-            "name": str(spec_dict.get("name", "")),
-            "status": "error",
-            "error": f"{type(error).__name__}: {error}",
-        }
-    record["run_id"] = run_id
-    record["axes"] = axes
-    record["seed"] = seed
-    record["wall_time_s"] = time.perf_counter() - started
-    return record
-
-
 @dataclass
 class FleetResult:
     """Outcome of one orchestrated fleet run."""
@@ -139,6 +52,10 @@ class FleetResult:
     skipped: int
     failed: int
     out_dir: Path
+    #: Replicates abandoned by successive halving (``status: "pruned"``).
+    pruned: int = 0
+    #: Units killed by the per-unit budget (``status: "timeout"``).
+    timed_out: int = 0
 
     @property
     def results_path(self) -> Path:
@@ -156,12 +73,21 @@ class FleetResult:
 
         Rendering delegates to :mod:`repro.analysis.report` so fleet
         runs, re-loaded directories (``repro fleet report``) and
-        experiment exports share one analysis path.
+        experiment exports share one analysis path.  Pruned and
+        timed-out units are called out separately from failures.
         """
+        counts = [
+            f"{self.executed} executed",
+            f"{self.skipped} cached",
+            f"{self.failed} failed",
+        ]
+        if self.pruned:
+            counts.append(f"{self.pruned} pruned")
+        if self.timed_out:
+            counts.append(f"{self.timed_out} timed out")
         lines = [
             f"fleet {self.spec.name!r}: {len(self.records)} runs "
-            f"({self.executed} executed, {self.skipped} cached, "
-            f"{self.failed} failed)",
+            f"({', '.join(counts)})",
             f"results: {self.results_path}",
             "",
             self.summary_table(),
@@ -170,19 +96,45 @@ class FleetResult:
 
 
 class FleetOrchestrator:
-    """Executes a spec's run matrix with caching and a worker pool."""
+    """Executes a spec's run matrix with caching and pluggable backends.
+
+    Constructor arguments override the spec's ``execution:`` section
+    (None defers to the spec): ``backend`` picks the dispatch mechanism
+    (``serial`` / ``local`` / ``subprocess``), ``workers`` the pool
+    size, ``unit_timeout_s`` the per-unit wall-time budget and
+    ``max_retries`` the crash re-dispatch count.
+    """
 
     def __init__(
         self,
         out_dir: str | Path,
-        workers: int = 1,
+        workers: int | None = None,
         resume: bool = True,
+        backend: str | None = None,
+        unit_timeout_s: float | None = None,
+        max_retries: int | None = None,
     ) -> None:
-        if workers < 0:
+        if workers is not None and workers < 0:
             raise SpecError(f"workers must be >= 0, got {workers}")
+        if backend is not None and backend not in BACKEND_KINDS:
+            raise SpecError(
+                f"backend {backend!r} is unknown; choose from {BACKEND_KINDS}"
+            )
+        if unit_timeout_s is not None and unit_timeout_s < 0:
+            raise SpecError(
+                f"unit_timeout_s must be >= 0, got {unit_timeout_s}"
+            )
         self._out_dir = Path(out_dir)
         self._workers = workers
         self._resume = resume
+        self._backend = backend
+        self._unit_timeout_s = unit_timeout_s
+        self._max_retries = max_retries
+
+    # Kept as a static alias: dispatch ordering lives in the scheduler,
+    # but the affinity key itself is part of the orchestrator's public
+    # surface (tests and benchmarks sort with it).
+    _substrate_affinity = staticmethod(substrate_affinity)
 
     # ------------------------------------------------------------------ #
     # Persistence                                                        #
@@ -206,69 +158,29 @@ class FleetOrchestrator:
         return cached
 
     def _rewrite_results(self, records: list[dict]) -> None:
+        """Atomically replace ``results.jsonl`` with the final records.
+
+        The rewrite lands in a same-directory temp file first and moves
+        into place with ``os.replace``, so an interrupt (or a record
+        that fails to serialize) can never leave a torn results file —
+        the previous complete file survives instead.
+        """
         path = self._out_dir / RESULTS_FILENAME
-        with path.open("w", encoding="utf-8") as handle:
-            for record in records:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        tmp = path.with_name(RESULTS_FILENAME + ".tmp")
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------ #
     # Execution                                                          #
     # ------------------------------------------------------------------ #
 
-    @staticmethod
-    def _substrate_affinity(unit: RunUnit) -> tuple:
-        """Sort key grouping units that share a latency substrate.
-
-        Scenario compilation memoizes ``(D, H)`` by (latency seed,
-        regions, sites) — see :mod:`repro.fleet.compile` — so executing
-        same-substrate units back-to-back maximizes warm-cache hits.
-        Workload knobs that change the site draw are part of the key;
-        the final results file is rewritten in matrix order regardless,
-        so dispatch order never shows in the output.
-        """
-        spec = unit.spec
-        return (
-            spec.topology.latency_seed,
-            spec.topology.num_user_sites,
-            tuple(spec.topology.regions or ()),
-            tuple(spec.topology.user_sites or ()),
-            spec.workload.kind,
-            spec.simulation.seed,
-        )
-
-    def _execute(self, pending: list[RunUnit]) -> list[dict]:
-        """Run pending units, appending each finished record to the JSONL
-        file as it completes — an interrupted fleet keeps its progress and
-        the next invocation resumes from the cache."""
-        pending = sorted(pending, key=self._substrate_affinity)
-        payloads = [
-            (unit.run_id, unit.spec.to_dict(), unit.axes, unit.seed)
-            for unit in pending
-        ]
-        records: list[dict] = []
-        with (self._out_dir / RESULTS_FILENAME).open(
-            "a", encoding="utf-8"
-        ) as handle:
-
-            def collect(record: dict) -> None:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-                handle.flush()
-                records.append(record)
-
-            if self._workers <= 1 or len(payloads) <= 1:
-                for payload in payloads:
-                    collect(_execute_payload(payload))
-            else:
-                workers = min(self._workers, len(payloads))
-                with multiprocessing.Pool(processes=workers) as pool:
-                    for record in pool.imap_unordered(
-                        _execute_payload, payloads
-                    ):
-                        collect(record)
-        return records
-
     def run(self, spec: RunSpec) -> FleetResult:
-        """Expand, execute (skipping cached run ids), persist, aggregate."""
+        """Expand, schedule (skipping cached run ids), persist, aggregate."""
         units = expand_matrix(spec)
         self._out_dir.mkdir(parents=True, exist_ok=True)
         (self._out_dir / SPEC_FILENAME).write_text(
@@ -277,27 +189,50 @@ class FleetOrchestrator:
         cache = self._load_cache()
         if not self._resume:
             (self._out_dir / RESULTS_FILENAME).unlink(missing_ok=True)
-        pending = [unit for unit in units if unit.run_id not in cache]
-        fresh = {record["run_id"]: record for record in self._execute(pending)}
+
+        # Fresh records append incrementally (and flushed) so an
+        # interrupted fleet keeps its progress and the next invocation
+        # resumes from the cache.
+        with (self._out_dir / RESULTS_FILENAME).open(
+            "a", encoding="utf-8"
+        ) as handle:
+
+            def persist(record: dict) -> None:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+
+            scheduler = FleetScheduler(
+                on_record=persist,
+                backend=self._backend,
+                workers=self._workers,
+                unit_timeout_s=self._unit_timeout_s,
+                max_retries=self._max_retries,
+            )
+            outcome = scheduler.run(units, cache)
 
         records: list[dict] = []
-        failed = 0
+        failed = timed_out = 0
         for unit in units:
-            record = cache.get(unit.run_id) or fresh[unit.run_id]
+            record = cache.get(unit.run_id) or outcome.fresh[unit.run_id]
             # Re-stamp sweep labels: a cached record may have been produced
             # under different (or no) axis labels for the same resolved spec.
             record = {**record, "axes": unit.axes, "seed": unit.seed}
-            if record.get("status") != "ok":
+            status = record.get("status")
+            if status == "timeout":
+                timed_out += 1
+            elif status not in ("ok", "pruned"):
                 failed += 1
             records.append(record)
         self._rewrite_results(records)
         result = FleetResult(
             spec=spec,
             records=records,
-            executed=len(pending),
-            skipped=len(units) - len(pending),
+            executed=outcome.executed,
+            skipped=len(units) - outcome.executed - outcome.pruned,
             failed=failed,
             out_dir=self._out_dir,
+            pruned=outcome.pruned,
+            timed_out=timed_out,
         )
         (self._out_dir / SUMMARY_FILENAME).write_text(
             result.summary_table() + "\n", encoding="utf-8"

@@ -1,0 +1,313 @@
+"""Unit scheduling: ordering, budgets, crash retries, early abort.
+
+The scheduler sits between matrix expansion and the execution backends.
+It owns every policy decision about *how* the pending units run:
+
+* **Ordering** — units dispatch in substrate-affinity order
+  (:func:`substrate_affinity`), so grid points sharing a latency
+  substrate hit each worker's warm cache back-to-back.
+* **Budgets** — ``execution.unit_timeout_s`` is passed to the backend
+  as a per-unit wall-time budget; over-budget units come back as
+  first-class ``status: "timeout"`` records.
+* **Crash retries** — units whose worker died without producing a
+  record (backend status ``"crashed"``) are re-dispatched up to
+  ``execution.max_retries`` times; units still crashing are persisted
+  as ``status: "error"`` records carrying an ``attempts`` count, so a
+  flaky worker never silently loses a unit.
+* **Successive halving** — with ``execution.halving.rungs`` set, seed
+  replicates run rung by rung: after each rung the grid points are
+  ranked by the running mean of ``halving.metric`` (lower is better)
+  and only the best ``ceil(n / eta)`` advance.  Abandoned points'
+  remaining replicates are recorded as ``status: "pruned"`` (with the
+  rung index), not executed — a budgeted sweep provably executes fewer
+  units than the full grid while the surviving points' records stay
+  identical to an unbudgeted run.
+
+Units may carry different effective execution configs (``execution.*``
+sweep axes); the scheduler groups them and instantiates one backend
+per distinct config.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis.report import SCHEMA_VERSION
+from repro.fleet.backends import ExecutionBackend, RunPayload, create_backend
+from repro.fleet.matrix import RunUnit
+from repro.fleet.spec import ExecutionSpec
+
+__all__ = ["FleetScheduler", "SchedulerOutcome", "substrate_affinity"]
+
+
+def substrate_affinity(unit: RunUnit) -> tuple:
+    """Sort key grouping units that share a latency substrate.
+
+    Scenario compilation memoizes ``(D, H)`` by (latency seed,
+    regions, sites) — see :mod:`repro.fleet.compile` — so executing
+    same-substrate units back-to-back maximizes warm-cache hits.
+    Workload knobs that change the site draw are part of the key;
+    the final results file is rewritten in matrix order regardless,
+    so dispatch order never shows in the output.
+    """
+    spec = unit.spec
+    return (
+        spec.topology.latency_seed,
+        spec.topology.num_user_sites,
+        tuple(spec.topology.regions or ()),
+        tuple(spec.topology.user_sites or ()),
+        spec.workload.kind,
+        spec.simulation.seed,
+    )
+
+
+def pruned_record(unit: RunUnit, rung: int) -> dict:
+    """The first-class record of a replicate abandoned by halving."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": unit.spec.name,
+        "status": "pruned",
+        "run_id": unit.run_id,
+        "axes": unit.axes,
+        "seed": unit.seed,
+        "rung": rung,
+    }
+
+
+@dataclass
+class SchedulerOutcome:
+    """What one scheduling pass produced (fresh records only)."""
+
+    #: ``run_id -> record`` for every unit the scheduler resolved this
+    #: pass (executed, timed out, crash-exhausted, or pruned).
+    fresh: dict[str, dict] = field(default_factory=dict)
+    #: Units actually dispatched to a backend (retries not re-counted).
+    executed: int = 0
+    #: Units recorded as ``"pruned"`` instead of executing.
+    pruned: int = 0
+
+
+class FleetScheduler:
+    """Plans and dispatches pending run units through backends."""
+
+    def __init__(
+        self,
+        on_record: Callable[[dict], None] | None = None,
+        backend_factory: Callable[[ExecutionSpec], ExecutionBackend]
+        | None = None,
+        backend: str | None = None,
+        workers: int | None = None,
+        unit_timeout_s: float | None = None,
+        max_retries: int | None = None,
+    ) -> None:
+        """``backend``/``workers``/``unit_timeout_s``/``max_retries``
+        override the corresponding ``execution:`` spec fields for every
+        unit (the CLI's ``--backend``/``--workers``/``--budget`` flags);
+        None defers to each unit's own spec.  ``on_record`` is called
+        once per fresh record as it resolves (the orchestrator's
+        incremental JSONL append)."""
+        self._on_record = on_record or (lambda record: None)
+        self._backend_factory = backend_factory or (
+            lambda execution: create_backend(
+                execution.backend, workers=execution.workers
+            )
+        )
+        self._overrides = {
+            key: value
+            for key, value in {
+                "backend": backend,
+                "workers": workers,
+                "unit_timeout_s": unit_timeout_s,
+                "max_retries": max_retries,
+            }.items()
+            if value is not None
+        }
+
+    # ------------------------------------------------------------------ #
+    # Planning                                                           #
+    # ------------------------------------------------------------------ #
+
+    def effective_execution(self, unit: RunUnit) -> ExecutionSpec:
+        """The unit's execution config with scheduler overrides applied."""
+        execution = unit.spec.execution
+        if self._overrides:
+            execution = replace(execution, **self._overrides)
+        return execution
+
+    def run(
+        self, units: Sequence[RunUnit], cached: dict[str, dict]
+    ) -> SchedulerOutcome:
+        """Resolve every unit not in ``cached`` into a fresh record.
+
+        Units are grouped by effective execution config (one backend
+        instance per group, so ``execution.*`` sweep axes compare
+        backends within one fleet); each group runs its halving plan —
+        or a single substrate-ordered batch when halving is off.
+        """
+        outcome = SchedulerOutcome()
+        groups: dict[ExecutionSpec, list[RunUnit]] = {}
+        for unit in units:
+            groups.setdefault(self.effective_execution(unit), []).append(unit)
+        for execution, group in groups.items():
+            backend = self._backend_factory(execution)
+            points = self._points(group)
+            if execution.halving.rungs and len(points) > 1:
+                self._run_halved(
+                    backend, execution, points, cached, outcome
+                )
+            else:
+                self._dispatch(
+                    backend,
+                    execution,
+                    [u for u in group if u.run_id not in cached],
+                    outcome,
+                )
+        return outcome
+
+    @staticmethod
+    def _points(units: Iterable[RunUnit]) -> dict[tuple, list[RunUnit]]:
+        """Units grouped by grid point (matrix order), replicate-sorted."""
+        points: dict[tuple, list[RunUnit]] = {}
+        for unit in units:
+            points.setdefault(unit.point, []).append(unit)
+        for group in points.values():
+            group.sort(key=lambda unit: unit.replicate)
+        return points
+
+    # ------------------------------------------------------------------ #
+    # Dispatch + retries                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, record: dict, outcome: SchedulerOutcome) -> None:
+        outcome.fresh[record["run_id"]] = record
+        self._on_record(record)
+
+    def _dispatch(
+        self,
+        backend: ExecutionBackend,
+        execution: ExecutionSpec,
+        units: Sequence[RunUnit],
+        outcome: SchedulerOutcome,
+    ) -> None:
+        """Run units through the backend, retrying crashed workers."""
+        if not units:
+            return
+        ordered = sorted(units, key=substrate_affinity)
+        payloads = [RunPayload.from_unit(unit) for unit in ordered]
+        by_id = {payload.run_id: payload for payload in payloads}
+        outcome.executed += len(payloads)
+        timeout = execution.unit_timeout_s or None
+        attempts: dict[str, int] = {}
+        queue = payloads
+        while queue:
+            retries: list[RunPayload] = []
+            for record in backend.execute(queue, timeout):
+                run_id = record.get("run_id", "")
+                tries = attempts.get(run_id, 1)
+                if record.get("status") == "crashed":
+                    if tries <= execution.max_retries:
+                        attempts[run_id] = tries + 1
+                        retries.append(by_id[run_id])
+                        continue
+                    # Retries exhausted: the crash becomes a first-class
+                    # error record (the internal status never persists).
+                    record = {**record, "status": "error"}
+                    record["error"] = (
+                        f"{record.get('error', 'WorkerCrash')} "
+                        f"(gave up after {tries} attempt(s))"
+                    )
+                if tries > 1:
+                    record["attempts"] = tries
+                self._emit(record, outcome)
+            queue = retries
+
+    # ------------------------------------------------------------------ #
+    # Successive halving                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _score(
+        self,
+        units: Sequence[RunUnit],
+        upto: int,
+        metric: str,
+        cached: dict[str, dict],
+        outcome: SchedulerOutcome,
+    ) -> float:
+        """Mean ``metric`` over a point's first ``upto`` replicates.
+
+        Failed / timed-out / missing replicates score ``inf`` so broken
+        points are pruned first; lower is better for every halving
+        metric.
+        """
+        values: list[float] = []
+        for unit in units:
+            if unit.replicate >= upto:
+                continue
+            record = cached.get(unit.run_id) or outcome.fresh.get(
+                unit.run_id
+            )
+            if (
+                record is None
+                or record.get("status") != "ok"
+                or not isinstance(record.get(metric), (int, float))
+            ):
+                return math.inf
+            values.append(float(record[metric]))
+        if not values:
+            return math.inf
+        return sum(values) / len(values)
+
+    def _run_halved(
+        self,
+        backend: ExecutionBackend,
+        execution: ExecutionSpec,
+        points: dict[tuple, list[RunUnit]],
+        cached: dict[str, dict],
+        outcome: SchedulerOutcome,
+    ) -> None:
+        """Run replicates rung by rung, abandoning dominated points."""
+        halving = execution.halving
+        replicates = 1 + max(
+            unit.replicate for group in points.values() for unit in group
+        )
+        boundaries = [r for r in halving.rungs if r < replicates]
+        boundaries.append(replicates)
+        survivors = list(points)  # matrix order
+        previous = 0
+        for rung, boundary in enumerate(boundaries):
+            batch = [
+                unit
+                for point in survivors
+                for unit in points[point]
+                if previous <= unit.replicate < boundary
+                and unit.run_id not in cached
+            ]
+            self._dispatch(backend, execution, batch, outcome)
+            previous = boundary
+            if boundary >= replicates:
+                break
+            scores = {
+                point: self._score(
+                    points[point], boundary, halving.metric, cached, outcome
+                )
+                for point in survivors
+            }
+            keep = math.ceil(len(survivors) / halving.eta)
+            order = {point: i for i, point in enumerate(survivors)}
+            ranked = sorted(
+                survivors, key=lambda point: (scores[point], order[point])
+            )
+            kept = set(ranked[:keep])
+            for point in survivors:
+                if point in kept:
+                    continue
+                for unit in points[point]:
+                    if (
+                        unit.replicate >= boundary
+                        and unit.run_id not in cached
+                    ):
+                        outcome.pruned += 1
+                        self._emit(pruned_record(unit, rung), outcome)
+            survivors = [point for point in survivors if point in kept]

@@ -50,7 +50,18 @@ TRACE_HOLDING_KINDS: tuple[str, ...] = HOLDING_KINDS
 #: Representation names a demand spec may reference (the paper's ladder).
 LADDER_NAMES: tuple[str, ...] = ("360p", "480p", "720p", "1080p")
 
-#: Top-level sections a sweep axis path may enter.
+#: Execution backends the orchestrator can dispatch run units through.
+BACKEND_KINDS: tuple[str, ...] = ("serial", "local", "subprocess")
+
+#: Metrics a successive-halving rung may rank grid points by (all
+#: lower-is-better; see ``repro.analysis.report.LOWER_IS_BETTER``).
+HALVING_METRICS: tuple[str, ...] = ("traffic_mbps", "delay_ms", "phi")
+
+#: Top-level sections a sweep axis path may enter.  ``execution`` knobs
+#: are sweepable too (e.g. to benchmark backends against each other);
+#: because execution is scheduling config rather than computation
+#: identity, execution-axis values are folded into unit run ids
+#: explicitly (see ``repro.fleet.matrix``).
 SWEEPABLE_SECTIONS: tuple[str, ...] = (
     "workload",
     "topology",
@@ -58,6 +69,7 @@ SWEEPABLE_SECTIONS: tuple[str, ...] = (
     "noise",
     "churn",
     "simulation",
+    "execution",
 )
 
 
@@ -560,6 +572,98 @@ class SimulationSpec:
 
 
 @dataclass(frozen=True)
+class HalvingSpec:
+    """Successive-halving early abort of dominated grid points.
+
+    With ``rungs: [r1, r2, ...]`` the scheduler runs each grid point's
+    first ``r1`` seed replicates, ranks the points by the mean of
+    ``metric`` over the completed replicates (lower is better), keeps
+    the best ``ceil(n / eta)``, and abandons the rest — their remaining
+    replicates are recorded as first-class ``status: "pruned"`` records
+    instead of being executed.  Surviving points run every replicate,
+    so their aggregates are identical to an unbudgeted sweep.
+    """
+
+    #: Cumulative replicate counts at which to rank and halve; empty
+    #: disables halving.  Must be strictly increasing and strictly
+    #: smaller than ``sweep.replicates``.
+    rungs: tuple[int, ...] = ()
+    #: Survivor fraction per rung: keep the best ``ceil(n / eta)``.
+    eta: float = 2.0
+    #: Ranking metric (lower is better).
+    metric: str = "phi"
+
+    def __post_init__(self) -> None:
+        _coerce_declared_scalars(self)
+        for rung in self.rungs:
+            if _as_int(rung, "execution.halving.rungs") < 1:
+                raise SpecError(
+                    f"execution.halving.rungs must be >= 1, got {rung}"
+                )
+        if list(self.rungs) != sorted(set(self.rungs)):
+            raise SpecError(
+                "execution.halving.rungs must be strictly increasing, "
+                f"got {list(self.rungs)}"
+            )
+        if self.eta <= 1.0:
+            raise SpecError(
+                f"execution.halving.eta must be > 1, got {self.eta}"
+            )
+        if self.metric not in HALVING_METRICS:
+            raise SpecError(
+                f"execution.halving.metric {self.metric!r} is unknown; "
+                f"choose from {HALVING_METRICS}"
+            )
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How the run matrix executes: backend, pool size, budgets.
+
+    Unlike every other section, execution knobs describe *scheduling*,
+    not the computation — two specs differing only in their execution
+    section denote the same runs and share content-hash run ids (and
+    therefore resume-cache entries).  See DESIGN.md "Execution backends
+    & budgets".
+    """
+
+    #: Dispatch mechanism: "serial" (in-process), "local"
+    #: (multiprocessing pool) or "subprocess" (self-contained worker
+    #: commands, the stepping stone to SSH/container backends).
+    backend: str = "local"
+    #: Concurrent workers (<= 1 runs serially even on "local").
+    workers: int = 1
+    #: Per-unit wall-time budget in seconds; 0 disables the budget.
+    #: Over-budget units are recorded as ``status: "timeout"``.
+    unit_timeout_s: float = 0.0
+    #: Re-dispatches after a worker crash before the unit is recorded
+    #: as failed.
+    max_retries: int = 1
+    halving: HalvingSpec = field(default_factory=HalvingSpec)
+
+    def __post_init__(self) -> None:
+        _coerce_declared_scalars(self)
+        if self.backend not in BACKEND_KINDS:
+            raise SpecError(
+                f"execution.backend {self.backend!r} is unknown; "
+                f"choose from {BACKEND_KINDS}"
+            )
+        if self.workers < 0:
+            raise SpecError(
+                f"execution.workers must be >= 0, got {self.workers}"
+            )
+        if self.unit_timeout_s < 0 or math.isinf(self.unit_timeout_s):
+            raise SpecError(
+                f"execution.unit_timeout_s must be finite and >= 0, "
+                f"got {self.unit_timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise SpecError(
+                f"execution.max_retries must be >= 0, got {self.max_retries}"
+            )
+
+
+@dataclass(frozen=True)
 class AxisSpec:
     """One sweep axis: a dotted spec path and its candidate values."""
 
@@ -618,10 +722,21 @@ class RunSpec:
     churn: ChurnSpec = field(default_factory=ChurnSpec)
     simulation: SimulationSpec = field(default_factory=SimulationSpec)
     sweep: SweepSpec = field(default_factory=SweepSpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
             raise SpecError("spec name must be a non-empty string")
+        rungs = self.execution.halving.rungs
+        # Resolved (sweep-free) units inherit the matrix-level plan with
+        # replicates reset to 1, so the bound only applies to specs that
+        # still declare the replicates being halved over.
+        if rungs and self.sweep.replicates > 1 and rungs[-1] >= self.sweep.replicates:
+            raise SpecError(
+                f"execution.halving.rungs must stay below "
+                f"sweep.replicates ({self.sweep.replicates}) so pruning "
+                f"can save work, got {list(rungs)}"
+            )
         if self.workload.kind == "prototype":
             if not math.isinf(self.workload.mean_bandwidth_mbps) or not math.isinf(
                 self.workload.mean_transcode_slots
@@ -729,7 +844,9 @@ class RunSpec:
 
     def with_overrides(self, overrides: dict[str, object]) -> "RunSpec":
         """A new spec with dotted-path scalar overrides applied (the sweep
-        block is dropped — an overridden spec is one concrete run)."""
+        block is dropped — an overridden spec is one concrete run; the
+        ``execution`` section is kept so resolved units carry their
+        scheduling config, halving plan included)."""
         data = self.to_dict()
         data["sweep"] = {"replicates": 1, "axes": []}
         for path, value in overrides.items():
@@ -784,6 +901,14 @@ def dump_spec(spec: RunSpec, path: str | Path) -> None:
 
 def spec_hash(spec: RunSpec) -> str:
     """Content-hash run id: stable across processes and sessions, so an
-    unchanged resolved spec always maps to the same cached result."""
-    canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    unchanged resolved spec always maps to the same cached result.
+
+    The ``execution`` section is excluded: it configures *how* units are
+    dispatched (backend, pool size, budgets), never what they compute,
+    so re-running a spec on a different backend reuses the cache instead
+    of re-solving identical units.
+    """
+    data = spec.to_dict()
+    data.pop("execution", None)
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]

@@ -95,6 +95,54 @@ class TestChurnSweepWalkthrough:
         }
 
 
+class TestBudgetedSweepWalkthrough:
+    """The EXPERIMENTS.md budgeted-sweep commands actually execute, and
+    the pruning/backed-equivalence claims they make hold."""
+
+    @pytest.fixture(scope="class")
+    def walkthrough(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        section = text.split("## Budgeted sweeps", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        commands = fenced_repro_commands(section)
+        assert len(commands) == 4, commands
+        return commands
+
+    def test_walkthrough_executes(self, walkthrough, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        for command in walkthrough:
+            argv = shlex.split(command)[1:]
+            assert main(argv) == 0, f"walkthrough command failed: {command}"
+
+        def records(name):
+            path = tmp_path / "runs" / name / "results.jsonl"
+            return [
+                json.loads(line)
+                for line in path.read_text(encoding="utf-8").splitlines()
+            ]
+
+        full, halved = records("full"), records("halved")
+        assert len(full) == len(halved) == 8
+        assert [r["status"] for r in full] == ["ok"] * 8
+        statuses = [r["status"] for r in halved]
+        assert statuses.count("ok") == 6 and statuses.count("pruned") == 2
+        # Surviving points' records are bit-identical to the full run.
+        by_id = {r["run_id"]: r for r in full}
+        for record in halved:
+            if record["status"] != "ok":
+                assert record["rung"] == 0
+                continue
+            strip = lambda r: {
+                k: v for k, v in r.items() if k != "wall_time_s"
+            }
+            assert strip(record) == strip(by_id[record["run_id"]])
+        # The subprocess-backend run produced a clean record too.
+        sub = records("sub")
+        assert [r["status"] for r in sub] == ["ok"]
+
+
 class TestComparingFleetsWalkthrough:
     """The EXPERIMENTS.md walkthrough commands actually execute."""
 

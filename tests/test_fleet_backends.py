@@ -1,0 +1,395 @@
+"""Execution backends: cross-backend bit-equivalence on a golden spec,
+the subprocess worker protocol, and the crash / timeout failure paths
+(a dying or hanging worker yields a diagnostic record, the remaining
+units still complete, and the resume cache stays usable)."""
+
+import json
+import multiprocessing
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.analysis.report import SCHEMA_VERSION, canonical_results_digest
+from repro.errors import SpecError
+from repro.fleet.backends import (
+    LocalBackend,
+    RunPayload,
+    SerialBackend,
+    SubprocessBackend,
+    create_backend,
+    default_worker_cmd,
+)
+from repro.fleet.matrix import expand_matrix
+from repro.fleet.orchestrator import FleetOrchestrator
+from repro.fleet.spec import (
+    AxisSpec,
+    RunSpec,
+    SimulationSpec,
+    SweepSpec,
+    WorkloadSpec,
+)
+
+FORK_ONLY = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="crash-injection via monkeypatch needs fork inheritance",
+)
+
+
+def golden_spec() -> RunSpec:
+    """The golden library-shaped sweep every backend must agree on."""
+    return RunSpec(
+        name="golden",
+        workload=WorkloadSpec(kind="prototype", num_sessions=2),
+        simulation=SimulationSpec(
+            duration_s=8.0, hop_interval_mean_s=4.0, seed=3
+        ),
+        sweep=SweepSpec(
+            replicates=2,
+            axes=(AxisSpec(path="solver.beta", values=(200, 400)),),
+        ),
+    )
+
+
+def single_spec(num_sessions: int = 2) -> RunSpec:
+    return RunSpec(
+        name="one",
+        workload=WorkloadSpec(num_sessions=num_sessions),
+        simulation=SimulationSpec(
+            duration_s=6.0, hop_interval_mean_s=3.0, seed=3
+        ),
+    )
+
+
+def payloads_for(spec: RunSpec) -> list[RunPayload]:
+    return [RunPayload.from_unit(unit) for unit in expand_matrix(spec)]
+
+
+class TestBackendEquivalence:
+    #: Content-hash ids of the golden matrix — pinned so resume caches
+    #: stay valid across refactors (pure hashing, no floats involved).
+    GOLDEN_RUN_IDS = [
+        "32b21458e43f",
+        "99a9394de167",
+        "10724dc7b97f",
+        "a60b334fd934",
+    ]
+
+    def test_golden_run_ids_are_stable(self):
+        units = expand_matrix(golden_spec())
+        assert [unit.run_id for unit in units] == self.GOLDEN_RUN_IDS
+
+    def test_all_backends_bit_identical_on_golden_spec(self, tmp_path):
+        """The acceptance criterion: serial, local and subprocess agree
+        bit-for-bit on the golden spec's results.jsonl (canonical form,
+        i.e. modulo the nondeterministic wall_time_s)."""
+        digests = {}
+        for backend, workers in (
+            ("serial", 1),
+            ("local", 2),
+            ("subprocess", 2),
+        ):
+            out = tmp_path / backend
+            result = FleetOrchestrator(
+                out, workers=workers, backend=backend
+            ).run(golden_spec())
+            assert result.executed == 4 and result.failed == 0
+            digests[backend] = canonical_results_digest(out)
+        assert len(set(digests.values())) == 1, digests
+
+    def test_local_default_path_byte_stable_across_runs(self, tmp_path):
+        """Two cold runs of the default (local) path digest identically
+        — the legacy orchestrator behavior, now behind the backend."""
+        first = FleetOrchestrator(tmp_path / "a", workers=2).run(golden_spec())
+        second = FleetOrchestrator(tmp_path / "b", workers=2).run(golden_spec())
+        assert first.failed == second.failed == 0
+        assert canonical_results_digest(
+            tmp_path / "a"
+        ) == canonical_results_digest(tmp_path / "b")
+
+    def test_payload_is_picklable_plain_data(self):
+        payload = payloads_for(single_spec())[0]
+        clone = pickle.loads(pickle.dumps(payload))
+        assert clone == payload
+        assert isinstance(clone.spec, dict)
+        wire = payload.to_wire()
+        assert set(wire) == {"run_id", "spec", "axes", "seed"}
+
+    def test_create_backend_registry(self):
+        assert isinstance(create_backend("serial"), SerialBackend)
+        assert isinstance(create_backend("local", workers=2), LocalBackend)
+        assert isinstance(create_backend("subprocess"), SubprocessBackend)
+        with pytest.raises(SpecError, match="unknown execution backend"):
+            create_backend("cluster")
+
+    def test_unknown_backend_rejected_by_orchestrator(self, tmp_path):
+        with pytest.raises(SpecError, match="backend"):
+            FleetOrchestrator(tmp_path, backend="cluster")
+
+
+class TestWorkerProtocol:
+    def test_worker_module_round_trip(self):
+        """``python -m repro.fleet.backends.worker`` is the real wire
+        protocol: pickled payload on stdin, one JSON record on stdout."""
+        payload = payloads_for(single_spec())[0]
+        env = dict(os.environ)
+        import repro
+
+        src = str(os.path.dirname(os.path.dirname(repro.__file__)))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            default_worker_cmd(),
+            input=pickle.dumps(payload.to_wire()),
+            capture_output=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+        record = json.loads(proc.stdout.decode("utf-8"))
+        assert record["status"] == "ok"
+        assert record["run_id"] == payload.run_id
+        assert record["schema_version"] == SCHEMA_VERSION
+
+    def test_noisy_worker_output_cannot_deadlock_dispatch(self, tmp_path):
+        """A worker spewing far more than one OS pipe buffer (~64 KiB)
+        on stderr must still complete: worker output is spooled to temp
+        files, never to pipes the poll-only dispatcher would leave
+        full."""
+        noisy = tmp_path / "noisy_worker.py"
+        noisy.write_text(
+            textwrap.dedent(
+                """\
+                import json, pickle, sys
+
+                payload = pickle.load(sys.stdin.buffer)
+                for _ in range(2000):
+                    print("x" * 120, file=sys.stderr)  # ~240 KiB
+                from repro.fleet.compile import execute_payload
+
+                record = execute_payload(
+                    payload["run_id"], payload["spec"], payload["axes"],
+                    payload["seed"],
+                )
+                json.dump(record, sys.stdout, sort_keys=True)
+                """
+            ),
+            encoding="utf-8",
+        )
+        backend = SubprocessBackend(
+            workers=1, worker_cmd=[sys.executable, str(noisy)]
+        )
+        records = list(backend.execute(payloads_for(single_spec())))
+        assert [record["status"] for record in records] == ["ok"]
+
+    def test_worker_env_survives_foreign_cwd(self, tmp_path, monkeypatch):
+        """The dispatcher absolutizes PYTHONPATH for its children, so a
+        fleet started from an unrelated working directory still finds
+        the repro package in its workers."""
+        monkeypatch.chdir(tmp_path)
+        backend = SubprocessBackend(workers=1)
+        records = list(backend.execute(payloads_for(single_spec())))
+        assert [record["status"] for record in records] == ["ok"]
+
+
+def _crashy_worker(tmp_path, crash_seed: int) -> list[str]:
+    """A worker command that dies with exit code 3 for one seed and
+    behaves like the bundled worker for every other payload."""
+    script = tmp_path / "crashy_worker.py"
+    script.write_text(
+        textwrap.dedent(
+            f"""\
+            import json, pickle, sys
+
+            payload = pickle.load(sys.stdin.buffer)
+            if payload["seed"] == {crash_seed}:
+                print("synthetic crash", file=sys.stderr)
+                sys.exit(3)
+            from repro.fleet.compile import execute_payload
+
+            record = execute_payload(
+                payload["run_id"], payload["spec"], payload["axes"],
+                payload["seed"],
+            )
+            json.dump(record, sys.stdout, sort_keys=True)
+            """
+        ),
+        encoding="utf-8",
+    )
+    return [sys.executable, str(script)]
+
+
+def _sleepy_worker(tmp_path, sleep_seed: int) -> list[str]:
+    """A worker command that hangs for one seed (the budget test)."""
+    script = tmp_path / "sleepy_worker.py"
+    script.write_text(
+        textwrap.dedent(
+            f"""\
+            import json, pickle, sys, time
+
+            payload = pickle.load(sys.stdin.buffer)
+            if payload["seed"] == {sleep_seed}:
+                time.sleep(300)
+            from repro.fleet.compile import execute_payload
+
+            record = execute_payload(
+                payload["run_id"], payload["spec"], payload["axes"],
+                payload["seed"],
+            )
+            json.dump(record, sys.stdout, sort_keys=True)
+            """
+        ),
+        encoding="utf-8",
+    )
+    return [sys.executable, str(script)]
+
+
+class TestSubprocessFailurePaths:
+    def crash_spec(self) -> RunSpec:
+        """2 replicates: seed 3 healthy, seed 4 driven to crash/hang."""
+        data = single_spec().to_dict()
+        data["name"] = "crashy"
+        data["sweep"] = {"replicates": 2, "axes": []}
+        return RunSpec.from_dict(data)
+
+    def test_worker_crash_yields_diagnostic_and_rest_completes(
+        self, tmp_path
+    ):
+        backend = SubprocessBackend(
+            workers=2, worker_cmd=_crashy_worker(tmp_path, crash_seed=4)
+        )
+        records = list(backend.execute(payloads_for(self.crash_spec())))
+        by_status = {record["status"]: record for record in records}
+        assert set(by_status) == {"ok", "crashed"}
+        crashed = by_status["crashed"]
+        assert "exited with code 3" in crashed["error"]
+        assert "synthetic crash" in crashed["error"]  # stderr excerpt
+        assert crashed["seed"] == 4
+
+    def test_hung_worker_times_out_and_rest_completes(self, tmp_path):
+        backend = SubprocessBackend(
+            workers=2, worker_cmd=_sleepy_worker(tmp_path, sleep_seed=4)
+        )
+        started = time.monotonic()
+        records = list(
+            backend.execute(payloads_for(self.crash_spec()), timeout_s=1.0)
+        )
+        elapsed = time.monotonic() - started
+        by_status = {record["status"]: record for record in records}
+        assert set(by_status) == {"ok", "timeout"}
+        assert "UnitTimeout" in by_status["timeout"]["error"]
+        assert elapsed < 60  # the hung worker was killed, not awaited
+
+    def test_crash_surfaces_as_error_record_and_cache_resumes(
+        self, tmp_path, monkeypatch
+    ):
+        """End-to-end: the orchestrator persists the crash as a clear
+        error record (with the attempts count), the healthy unit's
+        record survives, and a later run with a healthy backend
+        re-executes only the failed unit."""
+        spec = self.crash_spec()
+        out = tmp_path / "out"
+        worker_cmd = _crashy_worker(tmp_path, crash_seed=4)
+        from repro.fleet import scheduler as scheduler_module
+
+        monkeypatch.setattr(
+            scheduler_module,
+            "create_backend",
+            lambda kind, workers=1: SubprocessBackend(
+                workers=workers, worker_cmd=worker_cmd
+            ),
+        )
+        result = FleetOrchestrator(
+            out, backend="subprocess", max_retries=1
+        ).run(spec)
+        assert result.failed == 1
+        error = [r for r in result.records if r["status"] == "error"][0]
+        assert "WorkerCrash" in error["error"]
+        assert error["attempts"] == 2  # first try + one retry
+
+        # The healthy unit is cached; re-running with the bundled
+        # (working) worker re-executes only the crashed unit.
+        monkeypatch.undo()
+        retry = FleetOrchestrator(out, backend="subprocess").run(spec)
+        assert retry.executed == 1 and retry.skipped == 1
+        assert retry.failed == 0
+
+
+@FORK_ONLY
+class TestLocalManagedFailurePaths:
+    """The local backend's managed mode (active when a budget is set):
+    hard deadlines and crash detection on multiprocessing children.
+
+    Crash injection monkeypatches ``RunPayload.execute`` in the parent;
+    forked children inherit the patch, so no worker-side hook is
+    needed.
+    """
+
+    def test_managed_timeout_kills_and_rest_completes(self, monkeypatch):
+        data = single_spec().to_dict()
+        data["sweep"] = {"replicates": 2, "axes": []}
+        payloads = payloads_for(RunSpec.from_dict(data))
+
+        real_execute = RunPayload.execute
+
+        def hang_for_seed_4(self):
+            if self.seed == 4:
+                time.sleep(300)
+            return real_execute(self)
+
+        monkeypatch.setattr(RunPayload, "execute", hang_for_seed_4)
+        backend = LocalBackend(workers=2)
+        started = time.monotonic()
+        records = list(backend.execute(payloads, timeout_s=1.5))
+        assert time.monotonic() - started < 60
+        by_status = {record["status"]: record for record in records}
+        assert set(by_status) == {"ok", "timeout"}
+        assert by_status["timeout"]["seed"] == 4
+
+    def test_managed_crash_detected_and_rest_completes(self, monkeypatch):
+        spec = single_spec()
+        data = spec.to_dict()
+        data["sweep"] = {"replicates": 2, "axes": []}
+        payloads = payloads_for(RunSpec.from_dict(data))
+
+        real_execute = RunPayload.execute
+
+        def crash_for_seed_4(self):
+            if self.seed == 4:
+                os._exit(7)
+            return real_execute(self)
+
+        monkeypatch.setattr(RunPayload, "execute", crash_for_seed_4)
+        backend = LocalBackend(workers=2)
+        records = list(backend.execute(payloads, timeout_s=60.0))
+        by_status = {record["status"]: record for record in records}
+        assert set(by_status) == {"ok", "crashed"}
+        assert "exited with code 7" in by_status["crashed"]["error"]
+
+
+class TestSerialBudget:
+    def test_serial_detects_budget_post_hoc(self, monkeypatch):
+        """The in-process backend cannot kill a unit, but an over-budget
+        unit still comes back as a first-class timeout record."""
+        payload = payloads_for(single_spec())[0]
+
+        def pretend_slow(self):
+            return {
+                "status": "ok",
+                "run_id": self.run_id,
+                "wall_time_s": 99.0,
+            }
+
+        monkeypatch.setattr(RunPayload, "execute", pretend_slow)
+        records = list(SerialBackend().execute([payload], timeout_s=1.0))
+        assert records[0]["status"] == "timeout"
+        assert "UnitTimeout" in records[0]["error"]
+
+    def test_serial_without_budget_passes_records_through(self):
+        payload = payloads_for(single_spec())[0]
+        records = list(SerialBackend().execute([payload]))
+        assert records[0]["status"] == "ok"
+        assert records[0]["run_id"] == payload.run_id

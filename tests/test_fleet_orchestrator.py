@@ -247,3 +247,53 @@ class TestAggregate:
         lines = (out / "results.jsonl").read_text().strip().splitlines()
         assert len(lines) == 1
         assert json.loads(lines[0])["status"] == "ok"
+
+
+class TestAtomicRewrite:
+    """`_rewrite_results` must be all-or-nothing: an interrupt mid-write
+    can never leave a torn results.jsonl behind."""
+
+    def _finished_run(self, tmp_path):
+        out = tmp_path / "out"
+        spec = RunSpec(
+            name="one", workload=WorkloadSpec(num_sessions=2), simulation=FAST_SIM
+        )
+        orchestrator = FleetOrchestrator(out)
+        orchestrator.run(spec)
+        return orchestrator, out / "results.jsonl"
+
+    def test_crash_mid_rewrite_preserves_previous_file(self, tmp_path):
+        """A rewrite that dies halfway (simulated by a record that fails
+        to serialize after a first good one) leaves the previous
+        complete file untouched and no temp debris behind."""
+        orchestrator, results = self._finished_run(tmp_path)
+        before = results.read_text(encoding="utf-8")
+        poisoned = [{"status": "ok", "run_id": "good"}, {"bad": object()}]
+        with pytest.raises(TypeError):
+            orchestrator._rewrite_results(poisoned)
+        assert results.read_text(encoding="utf-8") == before
+        assert not list(results.parent.glob("*.tmp"))
+
+    def test_rewrite_replaces_atomically_via_temp_file(
+        self, tmp_path, monkeypatch
+    ):
+        """The new content only ever lands through os.replace of a
+        same-directory temp file (never an in-place truncate+write)."""
+        import os as os_module
+
+        orchestrator, results = self._finished_run(tmp_path)
+        replaced = {}
+        real_replace = os_module.replace
+
+        def spying_replace(src, dst):
+            replaced["src"], replaced["dst"] = str(src), str(dst)
+            return real_replace(src, dst)
+
+        import repro.fleet.orchestrator as orchestrator_module
+
+        monkeypatch.setattr(orchestrator_module.os, "replace", spying_replace)
+        orchestrator._rewrite_results([{"status": "ok", "run_id": "abc"}])
+        assert replaced["dst"] == str(results)
+        assert replaced["src"].endswith(".tmp")
+        assert os_module.path.dirname(replaced["src"]) == str(results.parent)
+        assert json.loads(results.read_text())["run_id"] == "abc"

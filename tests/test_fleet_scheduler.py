@@ -1,0 +1,326 @@
+"""Fleet scheduler: successive-halving early abort (fewer units than
+the full grid, surviving aggregates identical to an unbudgeted run),
+execution-spec validation/sweepability, and scheduling determinism."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import SpecError
+from repro.fleet.matrix import expand_matrix
+from repro.fleet.orchestrator import FleetOrchestrator
+from repro.fleet.scheduler import FleetScheduler, substrate_affinity
+from repro.fleet.spec import (
+    AxisSpec,
+    ExecutionSpec,
+    HalvingSpec,
+    RunSpec,
+    SimulationSpec,
+    SweepSpec,
+    WorkloadSpec,
+    spec_hash,
+)
+
+FAST_SIM = SimulationSpec(duration_s=8.0, hop_interval_mean_s=4.0, seed=3)
+
+
+def grid_spec(execution: ExecutionSpec | None = None, replicates: int = 2) -> RunSpec:
+    """4 beta grid points x seed replicates over a tiny prototype."""
+    kwargs = {}
+    if execution is not None:
+        kwargs["execution"] = execution
+    return RunSpec(
+        name="halving-grid",
+        workload=WorkloadSpec(kind="prototype", num_sessions=2),
+        simulation=FAST_SIM,
+        sweep=SweepSpec(
+            replicates=replicates,
+            axes=(AxisSpec(path="solver.beta", values=(100, 200, 400, 800)),),
+        ),
+        **kwargs,
+    )
+
+
+class TestExecutionSpec:
+    def test_defaults_round_trip(self):
+        spec = grid_spec()
+        assert spec.execution.backend == "local"
+        assert RunSpec.from_yaml(spec.to_yaml()) == spec
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SpecError, match="execution.backend"):
+            ExecutionSpec(backend="cluster")
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(SpecError, match="workers"):
+            ExecutionSpec(workers=-1)
+        with pytest.raises(SpecError, match="unit_timeout_s"):
+            ExecutionSpec(unit_timeout_s=-1.0)
+        with pytest.raises(SpecError, match="max_retries"):
+            ExecutionSpec(max_retries=-1)
+
+    def test_halving_rungs_must_increase(self):
+        with pytest.raises(SpecError, match="strictly increasing"):
+            HalvingSpec(rungs=(2, 1))
+        with pytest.raises(SpecError, match="strictly increasing"):
+            HalvingSpec(rungs=(1, 1))
+
+    def test_halving_metric_and_eta_validated(self):
+        with pytest.raises(SpecError, match="halving.metric"):
+            HalvingSpec(metric="hops")
+        with pytest.raises(SpecError, match="halving.eta"):
+            HalvingSpec(eta=1.0)
+
+    def test_rungs_must_leave_room_to_prune(self):
+        with pytest.raises(SpecError, match="stay below"):
+            grid_spec(
+                execution=ExecutionSpec(halving=HalvingSpec(rungs=(2,))),
+                replicates=2,
+            )
+
+    def test_execution_excluded_from_run_identity(self):
+        """Two specs differing only in execution config denote the same
+        computation: same spec hash, same unit run ids (so a resume
+        cache written on one backend serves any other)."""
+        plain = grid_spec()
+        tuned = grid_spec(
+            execution=ExecutionSpec(
+                backend="subprocess",
+                workers=8,
+                unit_timeout_s=120.0,
+                halving=HalvingSpec(rungs=(1,)),
+            )
+        )
+        assert spec_hash(plain) == spec_hash(tuned)
+        assert [u.run_id for u in expand_matrix(plain)] == [
+            u.run_id for u in expand_matrix(tuned)
+        ]
+
+    def test_execution_axis_gets_distinct_cache_slots(self):
+        """Sweeping an execution knob (backend comparisons) folds the
+        axis value into the run id, so grid points do not collapse onto
+        one cached record."""
+        spec = RunSpec(
+            name="backend-compare",
+            workload=WorkloadSpec(num_sessions=2),
+            simulation=FAST_SIM,
+            sweep=SweepSpec(
+                axes=(
+                    AxisSpec(
+                        path="execution.backend",
+                        values=("serial", "local"),
+                    ),
+                )
+            ),
+        )
+        units = expand_matrix(spec)
+        assert len(units) == 2
+        assert units[0].run_id != units[1].run_id
+        assert [u.spec.execution.backend for u in units] == [
+            "serial",
+            "local",
+        ]
+
+    def test_execution_axis_executes_both_groups(self, tmp_path):
+        spec = RunSpec(
+            name="backend-compare",
+            workload=WorkloadSpec(num_sessions=2),
+            simulation=FAST_SIM,
+            sweep=SweepSpec(
+                axes=(
+                    AxisSpec(
+                        path="execution.backend",
+                        values=("serial", "local"),
+                    ),
+                )
+            ),
+        )
+        result = FleetOrchestrator(tmp_path / "out").run(spec)
+        assert result.executed == 2 and result.failed == 0
+        stripped = [
+            {
+                k: v
+                for k, v in record.items()
+                # axes and the axis-folded run_id differ by construction;
+                # wall time is nondeterministic.
+                if k not in ("wall_time_s", "axes", "run_id")
+            }
+            for record in result.records
+        ]
+        # Identical computation on both backends; only the axis differs.
+        assert stripped[0] == stripped[1]
+
+
+class TestHalving:
+    def test_halved_sweep_executes_fewer_units(self, tmp_path):
+        """The acceptance criterion: a successive-halving sweep executes
+        provably fewer units than the full grid while surviving points'
+        aggregates stay identical to the unbudgeted run."""
+        full = FleetOrchestrator(tmp_path / "full").run(grid_spec())
+        halved = FleetOrchestrator(tmp_path / "halved").run(
+            grid_spec(execution=ExecutionSpec(halving=HalvingSpec(rungs=(1,))))
+        )
+        total = len(full.records)
+        assert full.executed == total == 8
+        # Rung 0 runs 4 points x 1 replicate; 2 survivors finish.
+        assert halved.executed == 6 < full.executed
+        assert halved.pruned == 2
+        assert halved.executed + halved.pruned == total
+
+        by_id = {record["run_id"]: record for record in full.records}
+        survivors = [r for r in halved.records if r["status"] == "ok"]
+        assert len(survivors) == 6
+        for record in survivors:
+            full_record = by_id[record["run_id"]]
+            strip = lambda r: {
+                k: v for k, v in r.items() if k != "wall_time_s"
+            }
+            assert strip(record) == strip(full_record)
+
+    def test_pruned_records_are_first_class(self, tmp_path):
+        result = FleetOrchestrator(tmp_path / "out").run(
+            grid_spec(execution=ExecutionSpec(halving=HalvingSpec(rungs=(1,))))
+        )
+        pruned = [r for r in result.records if r["status"] == "pruned"]
+        assert len(pruned) == 2
+        for record in pruned:
+            assert record["rung"] == 0
+            assert record["run_id"]
+            assert record["seed"] == 4  # only the second replicate pruned
+            assert "solver.beta" in record["axes"]
+            json.dumps(record, allow_nan=False)
+
+    def test_halving_prunes_dominated_points(self, tmp_path):
+        """The pruned points are exactly the worst-scoring half on the
+        halving metric over the rung replicates."""
+        result = FleetOrchestrator(tmp_path / "out").run(
+            grid_spec(execution=ExecutionSpec(halving=HalvingSpec(rungs=(1,))))
+        )
+        rung_scores = {
+            record["axes"]["solver.beta"]: record["phi"]
+            for record in result.records
+            if record["status"] == "ok" and record["seed"] == 3
+        }
+        assert len(rung_scores) == 4  # every point ran its first replicate
+        pruned_betas = {
+            record["axes"]["solver.beta"]
+            for record in result.records
+            if record["status"] == "pruned"
+        }
+        # The scheduler keeps ceil(4/2)=2 points ranked by (score,
+        # matrix order) — ties break towards earlier grid points.
+        matrix_order = [100, 200, 400, 800]
+        ranked = sorted(
+            matrix_order,
+            key=lambda beta: (rung_scores[beta], matrix_order.index(beta)),
+        )
+        assert pruned_betas == set(ranked[2:])
+
+    def test_halving_is_deterministic_on_resume(self, tmp_path):
+        spec = grid_spec(
+            execution=ExecutionSpec(halving=HalvingSpec(rungs=(1,)))
+        )
+        out = tmp_path / "out"
+        first = FleetOrchestrator(out).run(spec)
+        again = FleetOrchestrator(out).run(spec)
+        assert again.executed == 0
+        assert again.pruned == first.pruned
+        assert [r["status"] for r in again.records] == [
+            r["status"] for r in first.records
+        ]
+
+    def test_unbudgeted_rerun_completes_pruned_points(self, tmp_path):
+        """Dropping the halving plan on a later run executes exactly the
+        previously pruned replicates — the cache carries over."""
+        out = tmp_path / "out"
+        halved = FleetOrchestrator(out).run(
+            grid_spec(execution=ExecutionSpec(halving=HalvingSpec(rungs=(1,))))
+        )
+        completed = FleetOrchestrator(out).run(grid_spec())
+        assert completed.executed == halved.pruned
+        assert completed.failed == 0
+        assert all(r["status"] == "ok" for r in completed.records)
+
+    def test_multi_rung_halving(self, tmp_path):
+        """Two rungs: 4 points -> 2 -> 1; executed = 4 + 2 + 2 = 8 of 16."""
+        spec = grid_spec(
+            execution=ExecutionSpec(halving=HalvingSpec(rungs=(1, 2))),
+            replicates=4,
+        )
+        result = FleetOrchestrator(tmp_path / "out").run(spec)
+        assert result.executed == 4 + 2 + 2
+        assert result.pruned == 16 - result.executed
+        rungs = sorted(
+            r["rung"] for r in result.records if r["status"] == "pruned"
+        )
+        assert set(rungs) == {0, 1}
+
+    def test_report_distinguishes_pruned_from_failed(self, tmp_path):
+        result = FleetOrchestrator(tmp_path / "out").run(
+            grid_spec(execution=ExecutionSpec(halving=HalvingSpec(rungs=(1,))))
+        )
+        headline = result.format_report().splitlines()[0]
+        assert "2 pruned" in headline
+        assert "0 failed" in headline
+
+        from repro.analysis.report import load_fleet_run, render_run_report
+
+        run = load_fleet_run(tmp_path / "out")
+        assert run.pruned == 2 and run.failed == 0
+        assert "2 pruned" in render_run_report(run)
+
+
+class TestSchedulerMechanics:
+    def test_dispatch_orders_by_substrate_affinity(self):
+        spec = RunSpec(
+            name="affinity",
+            workload=WorkloadSpec(kind="scenario", num_users=20),
+            simulation=FAST_SIM,
+            sweep=SweepSpec(
+                replicates=2,
+                axes=(
+                    AxisSpec(path="topology.latency_seed", values=(7, 5, 9)),
+                ),
+            ),
+        )
+        units = expand_matrix(spec)
+        ordered = sorted(units, key=substrate_affinity)
+        seeds = [unit.spec.topology.latency_seed for unit in ordered]
+        # Same-substrate units land back-to-back (warm-cache dispatch).
+        assert seeds == sorted(seeds)
+        assert ordered != units  # matrix order (7, 5, 9) was regrouped
+
+    def test_scheduler_overrides_trump_spec(self):
+        scheduler = FleetScheduler(backend="serial", workers=7)
+        unit = expand_matrix(grid_spec())[0]
+        effective = scheduler.effective_execution(unit)
+        assert effective.backend == "serial"
+        assert effective.workers == 7
+        # Un-overridden fields defer to the unit's spec.
+        assert effective.unit_timeout_s == 0.0
+
+    def test_score_treats_missing_metric_as_worst(self):
+        scheduler = FleetScheduler()
+        from repro.fleet.scheduler import SchedulerOutcome
+
+        unit = expand_matrix(grid_spec())[0]
+        outcome = SchedulerOutcome()
+        score = scheduler._score([unit], 1, "phi", {}, outcome)
+        assert math.isinf(score)
+        outcome.fresh[unit.run_id] = {"status": "error", "run_id": unit.run_id}
+        assert math.isinf(
+            scheduler._score([unit], 1, "phi", {}, outcome)
+        )
+        outcome.fresh[unit.run_id] = {
+            "status": "ok",
+            "run_id": unit.run_id,
+            "phi": 2.5,
+        }
+        assert scheduler._score([unit], 1, "phi", {}, outcome) == 2.5
+
+    def test_replicate_index_recorded_on_units(self):
+        units = expand_matrix(grid_spec())
+        assert [u.replicate for u in units[:4]] == [0, 1, 0, 1]
+        points = {u.point for u in units}
+        assert len(points) == 4

@@ -56,6 +56,46 @@ class TestDocs:
         )
 
 
+class TestTreeHygiene:
+    """No build debris in the tree: bytecode caches and fleet output
+    directories are ignored and never committed."""
+
+    REQUIRED_IGNORES = ("__pycache__/", "*.pyc", "fleet_runs/", "runs/")
+
+    def test_gitignore_covers_caches_and_fleet_outputs(self):
+        patterns = [
+            line.strip()
+            for line in (REPO_ROOT / ".gitignore")
+            .read_text(encoding="utf-8")
+            .splitlines()
+            if line.strip() and not line.startswith("#")
+        ]
+        for required in self.REQUIRED_IGNORES:
+            assert required in patterns, f".gitignore is missing {required}"
+
+    def test_no_bytecode_or_fleet_outputs_tracked_by_git(self):
+        import shutil
+        import subprocess
+
+        if shutil.which("git") is None or not (REPO_ROOT / ".git").exists():
+            pytest.skip("not a git checkout")
+        tracked = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.splitlines()
+        offenders = [
+            path
+            for path in tracked
+            if "__pycache__" in path
+            or path.endswith(".pyc")
+            or path.startswith(("fleet_runs/", "runs/"))
+        ]
+        assert not offenders, f"tracked build debris: {offenders}"
+
+
 class TestPublicApi:
     def test_all_exports_resolve(self):
         for name in repro.__all__:
