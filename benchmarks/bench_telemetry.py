@@ -1,0 +1,90 @@
+"""Bench: telemetry primitives — span-emit throughput and the no-op path.
+
+Two targets guard the design contract of :mod:`repro.telemetry`: (1)
+the *disabled* path must be practically free (a module-level ``span``/
+``count`` call with no active collector does one truthiness check and
+returns a shared singleton — no allocation, no clock read), and (2) the
+*enabled* path must aggregate spans fast enough that instrumenting
+``solver.hop_batch`` at tens of thousands of hops per sweep stays in
+the noise.  Floors are conservative (~100x slack on a laptop) so only a
+structural regression — an allocation sneaking into the hot path, the
+aggregated tree degrading to per-call nodes — trips them.
+"""
+
+from __future__ import annotations
+
+import repro.telemetry as tele
+from repro.telemetry import NOOP_SPAN
+
+#: Module-level calls per benchmark round.
+CALLS = 50_000
+
+#: Floor on disabled-path calls/sec (span + count pairs).
+MIN_NOOP_PER_S = 2_000_000.0
+
+#: Floor on enabled-path aggregated span emits/sec.
+MIN_SPAN_EMITS_PER_S = 200_000.0
+
+
+def _noop_burst() -> None:
+    span = tele.span
+    count = tele.count
+    for _ in range(CALLS):
+        with span("bench.noop"):
+            pass
+        count("bench.noop")
+
+
+def _enabled_burst() -> None:
+    span = tele.span
+    count = tele.count
+    for _ in range(CALLS):
+        with span("bench.span"):
+            pass
+        count("bench.count")
+
+
+def test_disabled_path_is_free(benchmark):
+    assert not tele.enabled()
+    assert tele.span("bench.noop") is NOOP_SPAN  # the zero-alloc contract
+
+    benchmark(_noop_burst)
+
+    rate = 2 * CALLS / benchmark.stats.stats.mean
+    print(f"\ndisabled path: {rate:,.0f} span+count calls/s")
+    assert rate > MIN_NOOP_PER_S
+
+
+def test_enabled_span_emit_throughput(benchmark):
+    def burst_with_collector() -> None:
+        with tele.collect():
+            _enabled_burst()
+
+    benchmark(burst_with_collector)
+
+    rate = CALLS / benchmark.stats.stats.mean
+    print(f"\nenabled path: {rate:,.0f} aggregated span emits/s")
+    assert rate > MIN_SPAN_EMITS_PER_S
+
+
+def test_enabled_tree_stays_aggregated(benchmark):
+    """Depth-2 nesting at volume: the tree must hold 2 nodes, not
+    ``CALLS`` — aggregation is what keeps telemetry.jsonl compact."""
+
+    def nested_burst():
+        with tele.collect() as collector:
+            span = tele.span
+            for _ in range(CALLS // 10):
+                with span("unit.solve"):
+                    with span("solver.hop_batch"):
+                        pass
+        return collector
+
+    collector = benchmark(nested_burst)
+
+    (solve,) = collector.spans
+    assert solve.count == CALLS // 10
+    assert len(solve.children) == 1
+    rate = 2 * (CALLS // 10) / benchmark.stats.stats.mean
+    print(f"\nnested spans: {rate:,.0f} emits/s, tree stays 2 nodes")
+    assert rate > MIN_SPAN_EMITS_PER_S

@@ -45,6 +45,9 @@ td.worse { color: #b02a1a; font-weight: 600; }
 svg.spark { background: #f7fafc; border: 1px solid #e2e9f0; }
 svg.spark polyline { fill: none; stroke: #2563a8; stroke-width: 1.2;
                      opacity: 0.55; }
+.bar { background: #e2e9f0; height: 0.8rem; min-width: 1px;
+       display: inline-block; vertical-align: middle; }
+.bar > i { background: #2563a8; height: 100%; display: block; }
 """
 
 
@@ -138,14 +141,70 @@ def _delta_cell(metric: str, delta: tuple[float, float] | None) -> str:
     return f"<td{cls_attr}>{absolute:+.3f} ({pct})</td>"
 
 
-def render_html(comparison: FleetComparison, title: str = "") -> str:
+#: Width in px of the widest phase-time bar in the telemetry panel.
+_BAR_W = 260
+
+
+def telemetry_panel(breakdowns: Mapping[str, dict]) -> str:
+    """HTML section with a phase-time bar chart per instrumented run.
+
+    ``breakdowns`` maps run labels to
+    :func:`repro.analysis.report.telemetry_breakdown` dicts.  Each span
+    path renders one horizontal bar scaled to the run's largest span
+    total, with call counts and seconds beside it.
+    """
+    parts: list[str] = ["<h2>Telemetry</h2>"]
+    for label, breakdown in breakdowns.items():
+        timings: Mapping[str, Mapping] = breakdown.get("timings", {})
+        if not timings:
+            continue
+        widest = max(slot["total_s"] for slot in timings.values()) or 1.0
+        parts.append(
+            f"<h3>{_escape(label)} "
+            f'<span class="muted">({breakdown.get("units", 0)} '
+            "instrumented unit(s))</span></h3>"
+        )
+        parts.append(
+            '<table><thead><tr><th class="key">span</th>'
+            "<th>count</th><th>total s</th>"
+            '<th class="key">share</th></tr></thead><tbody>'
+        )
+        for path in sorted(timings, key=lambda p: -timings[p]["total_s"]):
+            slot = timings[path]
+            width = max(1, round(_BAR_W * slot["total_s"] / widest))
+            parts.append(
+                f'<tr><td class="key">{_escape(path)}</td>'
+                f"<td>{slot['count']}</td>"
+                f"<td>{slot['total_s']:.3f}</td>"
+                f'<td class="key"><span class="bar" '
+                f'style="width:{_BAR_W}px"><i '
+                f'style="width:{width}px"></i></span></td></tr>'
+            )
+        parts.append("</tbody></table>")
+        cache = breakdown.get("cache", {})
+        if cache.get("hit_rate") is not None:
+            parts.append(
+                f'<p class="muted">substrate cache: {cache["hits"]:g} '
+                f'hit(s) / {cache["misses"]:g} synthesis(es) '
+                f"({100.0 * cache['hit_rate']:.1f}% hit rate)</p>"
+            )
+    return "".join(parts)
+
+
+def render_html(
+    comparison: FleetComparison,
+    title: str = "",
+    telemetry: Mapping[str, dict] | None = None,
+) -> str:
     """Render the comparison as one self-contained HTML document.
 
     Sections mirror :func:`repro.analysis.report.render_comparison`:
     run roster, spec diff, metric deltas (improvements tinted by the
     per-metric direction of :data:`LOWER_IS_BETTER`), plus a sparkline
     grid of the stored convergence series — every successful record
-    contributes one polyline, sharing a value scale per metric.
+    contributes one polyline, sharing a value scale per metric.  With
+    ``telemetry`` (run label -> breakdown), a phase-time bar-chart
+    panel is appended via :func:`telemetry_panel`.
     """
     runs = comparison.runs
     title = title or (
@@ -245,6 +304,9 @@ def render_html(comparison: FleetComparison, title: str = "") -> str:
             f"(first {MAX_SPARK_LINES} records per cell); "
             "shared value scale per series row.</p>"
         )
+
+    if telemetry:
+        parts.append(telemetry_panel(telemetry))
 
     parts.append("</body></html>")
     return "".join(parts) + "\n"

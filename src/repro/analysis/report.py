@@ -45,9 +45,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 #: Version stamped into every record this tree writes.  Version 2 adds
 #: the ``"timeout"`` / ``"pruned"`` statuses and the optional ``rung`` /
-#: ``attempts`` envelope fields (execution backends + budgets); every
-#: version-1 record is also a valid version-2 record.
-SCHEMA_VERSION = 2
+#: ``attempts`` envelope fields (execution backends + budgets).
+#: Version 3 adds the optional ``timings`` / ``counters`` telemetry
+#: envelope blocks (present only when the unit ran with telemetry
+#: enabled; both are volatile — see :data:`VOLATILE_RECORD_FIELDS`).
+#: Every version-1/2 record is also a valid version-3 record.
+SCHEMA_VERSION = 3
 
 #: Statuses a record may carry: executed fine, executed-and-failed,
 #: killed by the per-unit wall-time budget, or abandoned by
@@ -67,6 +70,8 @@ ENVELOPE_FIELDS: dict[str, tuple[tuple[type, ...], bool, str]] = {
     "wall_time_s": ((float, int), False, "worker wall time (nondeterministic)"),
     "rung": ((int,), False, "halving rung index at which the unit was pruned"),
     "attempts": ((int,), False, "executions incl. crash retries (when > 1)"),
+    "timings": ((dict,), False, "span path -> seconds (telemetry, volatile)"),
+    "counters": ((dict,), False, "counter name -> value (telemetry, volatile)"),
 }
 
 #: Closed metric payload of fleet records (``execute_spec`` provenance).
@@ -268,9 +273,17 @@ def load_result_records(path: str | Path) -> list[dict]:
 
 
 #: Record fields excluded from :func:`canonical_results_digest`:
-#: ``wall_time_s`` is wall-clock noise and ``attempts`` depends on
-#: nondeterministic worker crashes — everything else must reproduce.
-VOLATILE_RECORD_FIELDS: tuple[str, ...] = ("wall_time_s", "attempts")
+#: ``wall_time_s`` is wall-clock noise, ``attempts`` depends on
+#: nondeterministic worker crashes, and the telemetry blocks
+#: (``timings`` are wall-clock measurements; ``counters`` include
+#: process-local cache statistics that differ across backends) — every
+#: other field must reproduce bit-for-bit.
+VOLATILE_RECORD_FIELDS: tuple[str, ...] = (
+    "wall_time_s",
+    "attempts",
+    "timings",
+    "counters",
+)
 
 
 def canonical_results_digest(out_dir: str | Path) -> str:
@@ -771,4 +784,100 @@ def render_run_report(run: FleetRun) -> str:
             run.records, title=f"fleet {run.label!r} summary"
         ),
     ]
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Telemetry report (``repro fleet report --telemetry``)                  #
+# --------------------------------------------------------------------- #
+
+
+def telemetry_breakdown(run_dir: str | Path) -> dict:
+    """Aggregate a run directory's ``telemetry.jsonl`` for reporting.
+
+    Returns ``{"timings": path -> {"count", "total_s"}, "counters":
+    name -> value, "units": n, "cache": {"hits", "misses", "hit_rate"}}``
+    aggregated over every telemetry record (unit and fleet scopes).
+    Raises :class:`SpecError` when the directory has no telemetry —
+    the run must be executed with ``--telemetry`` first.
+    """
+    from repro.telemetry import (
+        aggregate_counters,
+        aggregate_timings,
+        load_run_telemetry,
+    )
+
+    telemetry = load_run_telemetry(run_dir)
+    if not telemetry.records:
+        raise SpecError(
+            f"no telemetry at {Path(run_dir)}; re-run the fleet with "
+            "--telemetry (or execution.telemetry: true) to collect it"
+        )
+    counters = aggregate_counters(telemetry.records)
+    hits = counters.get("substrate.cache_hits", 0)
+    misses = counters.get("substrate.cache_misses", 0)
+    total = hits + misses
+    return {
+        "timings": aggregate_timings(telemetry.records),
+        "counters": counters,
+        "units": len(telemetry.units),
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total) if total else None,
+        },
+    }
+
+
+def render_telemetry_report(run_dir: str | Path) -> str:
+    """Phase-time breakdown + counters of one instrumented fleet run.
+
+    Two tables: span paths with call counts, total seconds and the
+    share of the instrumented time (top-level spans only, so shares sum
+    to ~100 %), and the named counters with the substrate cache hit
+    rate called out.
+    """
+    breakdown = telemetry_breakdown(run_dir)
+    timings: dict[str, dict] = breakdown["timings"]
+    top_total = sum(
+        slot["total_s"] for path, slot in timings.items() if "/" not in path
+    )
+    timing_rows = []
+    for path in sorted(timings, key=lambda p: -timings[p]["total_s"]):
+        slot = timings[path]
+        share = (
+            f"{100.0 * slot['total_s'] / top_total:.1f}%"
+            if top_total and "/" not in path
+            else ""
+        )
+        timing_rows.append(
+            [path, slot["count"], f"{slot['total_s']:.3f}", share]
+        )
+    lines = [
+        f"telemetry: {breakdown['units']} instrumented unit(s)",
+        "",
+        render_table(
+            ["span", "count", "total s", "share"],
+            timing_rows,
+            title="phase-time breakdown (aggregated span trees)",
+        ),
+    ]
+    counter_rows = [
+        [name, f"{value:g}" if isinstance(value, float) else value]
+        for name, value in sorted(breakdown["counters"].items())
+    ]
+    if counter_rows:
+        lines += [
+            "",
+            render_table(
+                ["counter", "value"], counter_rows, title="counters"
+            ),
+        ]
+    cache = breakdown["cache"]
+    if cache["hit_rate"] is not None:
+        lines.append(
+            f"substrate cache: {cache['hits']:g} hit(s) / "
+            f"{cache['misses']:g} synthesis(es) "
+            f"({100.0 * cache['hit_rate']:.1f}% hit rate)"
+        )
     return "\n".join(lines)

@@ -14,7 +14,9 @@ Examples::
     repro fleet run prototype_smoke --backend subprocess --budget 60
     repro fleet sweep beta_locality --axis solver.beta=200,400 --replicates 3
     repro fleet sweep beta_locality --replicates 4 --halving 1,2
+    repro fleet run prototype_smoke --telemetry --progress
     repro fleet report fleet_runs/prototype_smoke
+    repro fleet report fleet_runs/prototype_smoke --telemetry
     repro fleet report runs/base --compare runs/beta200 --csv cmp.csv
     repro fleet report --compare runs/base runs/beta200 --html cmp.html
 
@@ -34,6 +36,13 @@ from typing import Sequence
 from repro.errors import SpecError
 from repro.experiments.common import SCENARIOS_ENV
 from repro.experiments.registry import experiment_ids, get_experiment, list_experiments
+from repro.log import configure as _configure_logging
+from repro.log import get_logger
+
+#: CLI status/diagnostic channel: everything conversational goes through
+#: this stderr logger (gated by -v/-q); deliverable output — reports,
+#: tables, JSON, CSV — stays on stdout via ``print``.
+_LOG = get_logger("cli")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -43,6 +52,18 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Cost-Effective Low-Delay Cloud Video "
             "Conferencing' (ICDCS 2015)"
         ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="show debug-level status messages on stderr",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress status messages on stderr (errors still show)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -128,6 +149,19 @@ def _build_parser() -> argparse.ArgumentParser:
             help="ignore cached results and re-execute every run",
         )
         sub.add_argument(
+            "--telemetry",
+            action="store_true",
+            help="collect span/counter telemetry (telemetry.jsonl beside "
+            "results.jsonl + timings/counters record blocks); results "
+            "stay bit-identical either way",
+        )
+        sub.add_argument(
+            "--progress",
+            action="store_true",
+            help="live stderr progress ticker (done/running/pruned/"
+            "timeout counts + rolling ETA)",
+        )
+        sub.add_argument(
             "--set",
             dest="overrides",
             action="append",
@@ -189,6 +223,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default="",
         metavar="PATH",
         help="write a self-contained HTML dashboard (inline SVG sparklines)",
+    )
+    fleet_report.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="also render the telemetry section (phase-time breakdown, "
+        "cache hit rates, solver counters) from each run's "
+        "telemetry.jsonl; the HTML dashboard gains a bar-chart panel",
     )
 
     trace = subparsers.add_parser(
@@ -435,9 +476,13 @@ def _run_fleet(args: argparse.Namespace) -> int:
         resume=not args.no_resume,
         backend=args.backend,
         unit_timeout_s=args.budget,
+        telemetry=True if args.telemetry else None,
+        progress=args.progress,
     )
     result = orchestrator.run(spec)
     print(result.format_report())
+    if args.telemetry or result.telemetry_path.exists():
+        _LOG.info("wrote telemetry to %s", result.telemetry_path)
     return 1 if result.failed or result.timed_out else 0
 
 
@@ -478,7 +523,7 @@ def _generate_trace(args: argparse.Namespace) -> int:
             )
         else:
             dump_trace(events, args.out)
-        print(f"wrote {len(events)} trace events to {args.out}")
+        _LOG.info("wrote %d trace events to %s", len(events), args.out)
         return 0
     fmt = args.format or "csv"
     sys.stdout.write(format_trace(events, fmt=fmt))
@@ -557,6 +602,14 @@ def _report_fleet(args: argparse.Namespace) -> int:
             "(positional or via --compare)"
         )
     runs = load_fleet_runs(dirs)
+
+    def print_telemetry_sections() -> None:
+        from repro.analysis.report import render_telemetry_report
+
+        for run in runs:
+            print()
+            print(render_telemetry_report(run.path))
+
     if len(runs) == 1:
         # A lone directory always gets its text report (even when every
         # unit failed); the CSV/HTML artifacts need successful records,
@@ -564,19 +617,32 @@ def _report_fleet(args: argparse.Namespace) -> int:
         # compare_fleets diagnostic below instead of silently emitting
         # empty artifacts.
         print(render_run_report(runs[0]))
+        if args.telemetry:
+            print_telemetry_sections()
         if not (args.csv or args.html):
             return 0
     comparison = compare_fleets(runs)
     if len(runs) > 1:
         print(render_comparison(comparison))
+        if args.telemetry:
+            print_telemetry_sections()
     if args.csv:
         Path(args.csv).write_text(comparison_csv(comparison), encoding="utf-8")
-        print(f"wrote comparison CSV to {args.csv}")
+        _LOG.info("wrote comparison CSV to %s", args.csv)
     if args.html:
         from repro.analysis.html import render_html
 
-        Path(args.html).write_text(render_html(comparison), encoding="utf-8")
-        print(f"wrote HTML dashboard to {args.html}")
+        telemetry = None
+        if args.telemetry:
+            from repro.analysis.report import telemetry_breakdown
+
+            telemetry = {
+                run.label: telemetry_breakdown(run.path) for run in runs
+            }
+        Path(args.html).write_text(
+            render_html(comparison, telemetry=telemetry), encoding="utf-8"
+        )
+        _LOG.info("wrote HTML dashboard to %s", args.html)
     return 0
 
 
@@ -595,6 +661,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 def _dispatch(argv: Sequence[str] | None) -> int:
     args = _build_parser().parse_args(argv)
+    _configure_logging((-1 if args.quiet else 0) + (1 if args.verbose else 0))
 
     if args.command == "list":
         specs = list_experiments()
@@ -623,7 +690,7 @@ def _dispatch(argv: Sequence[str] | None) -> int:
                 return _report_fleet(args)
             return _run_fleet(args)
         except SpecError as error:
-            print(f"error: {error}", file=sys.stderr)
+            _LOG.error("error: %s", error)
             return 2
 
     if args.command == "trace":
@@ -636,7 +703,7 @@ def _dispatch(argv: Sequence[str] | None) -> int:
                 return _validate_trace(args)
             return _play_trace(args)
         except ReproError as error:
-            print(f"error: {error}", file=sys.stderr)
+            _LOG.error("error: %s", error)
             return 2
 
     spec = get_experiment(args.experiment)
@@ -655,9 +722,9 @@ def _dispatch(argv: Sequence[str] | None) -> int:
                 handle.write("label,series,time_s,value\n")
                 handle.write("\n".join(rows))
                 handle.write("\n")
-            print(f"\nwrote {len(rows)} series rows to {args.csv}")
+            _LOG.info("wrote %d series rows to %s", len(rows), args.csv)
         else:
-            print("\n(no series data to export for this experiment)")
+            _LOG.warning("(no series data to export for this experiment)")
 
     if args.jsonl:
         records = _collect_result_records(result)
@@ -667,9 +734,9 @@ def _dispatch(argv: Sequence[str] | None) -> int:
             for record in records:
                 validate_record(record)  # corrupt records never reach disk
             count = write_records(records, args.jsonl)
-            print(f"\nwrote {count} result records to {args.jsonl}")
+            _LOG.info("wrote %d result records to %s", count, args.jsonl)
         else:
-            print("\n(no result records to export for this experiment)")
+            _LOG.warning("(no result records to export for this experiment)")
     return 0
 
 

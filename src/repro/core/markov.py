@@ -44,6 +44,7 @@ from typing import Callable, Literal
 
 import numpy as np
 
+import repro.telemetry as tele
 from repro.core.assignment import Assignment
 from repro.core.neighborhood import Move
 from repro.core.objective import ObjectiveEvaluator
@@ -230,32 +231,36 @@ class MarkovAssignmentSolver:
         full :class:`Candidate`.
         """
         self._hops += 1
+        tele.count("solver.hops_proposed")
         phi_before = self._context.session_cost(sid).phi
-        if self._context.batched:
-            batch = self._context.candidate_batch(sid)
-            num_candidates = batch.num_feasible
-            if num_candidates == 0:
-                return HopResult(sid, False, None, phi_before, phi_before, 0)
-            if self._config.hop_rule == "paper":
-                chosen = self._paper_hop_batch(phi_before, batch)
+        with tele.span("solver.hop_batch"):
+            if self._context.batched:
+                batch = self._context.candidate_batch(sid)
+                num_candidates = batch.num_feasible
+                if num_candidates == 0:
+                    return HopResult(sid, False, None, phi_before, phi_before, 0)
+                if self._config.hop_rule == "paper":
+                    chosen = self._paper_hop_batch(phi_before, batch)
+                else:
+                    chosen = self._metropolis_hop_batch(sid, phi_before, batch)
             else:
-                chosen = self._metropolis_hop_batch(sid, phi_before, batch)
-        else:
-            candidates = self._context.feasible_candidates(sid)
-            num_candidates = len(candidates)
-            if num_candidates == 0:
-                return HopResult(sid, False, None, phi_before, phi_before, 0)
-            if self._config.hop_rule == "paper":
-                chosen = self._paper_hop(phi_before, candidates)
-            else:
-                chosen = self._metropolis_hop(sid, phi_before, candidates)
+                candidates = self._context.feasible_candidates(sid)
+                num_candidates = len(candidates)
+                if num_candidates == 0:
+                    return HopResult(sid, False, None, phi_before, phi_before, 0)
+                if self._config.hop_rule == "paper":
+                    chosen = self._paper_hop(phi_before, candidates)
+                else:
+                    chosen = self._metropolis_hop(sid, phi_before, candidates)
 
+        tele.count("solver.candidates", num_candidates)
         if chosen is None:
             return HopResult(
                 sid, False, None, phi_before, phi_before, num_candidates
             )
         self._context.commit(sid, chosen)
         self._migrations += 1
+        tele.count("solver.hops_accepted")
         phi_total = self._context.total_phi()
         if phi_total < self._best_phi:
             self._best_phi = phi_total

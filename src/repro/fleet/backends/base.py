@@ -44,15 +44,19 @@ class RunPayload:
     spec: dict
     axes: dict = field(default_factory=dict)
     seed: int = 0
+    #: Collect unit-scope telemetry (the worker embeds its span tree in
+    #: the result record so it survives the pickle/JSON boundary).
+    telemetry: bool = False
 
     @classmethod
-    def from_unit(cls, unit) -> "RunPayload":
+    def from_unit(cls, unit, telemetry: bool = False) -> "RunPayload":
         """The payload of one :class:`~repro.fleet.matrix.RunUnit`."""
         return cls(
             run_id=unit.run_id,
             spec=unit.spec.to_dict(),
             axes=dict(unit.axes),
             seed=unit.seed,
+            telemetry=telemetry,
         )
 
     @property
@@ -62,7 +66,10 @@ class RunPayload:
 
     def execute(self) -> dict:
         """Run the payload in-process via the shared worker entry."""
-        return execute_payload(self.run_id, self.spec, self.axes, self.seed)
+        return execute_payload(
+            self.run_id, self.spec, self.axes, self.seed,
+            telemetry=self.telemetry,
+        )
 
     def to_wire(self) -> dict:
         """Plain-dict form shipped to subprocess/remote workers."""
@@ -71,6 +78,7 @@ class RunPayload:
             "spec": self.spec,
             "axes": self.axes,
             "seed": self.seed,
+            "telemetry": self.telemetry,
         }
 
 

@@ -30,6 +30,7 @@ import time
 from collections import deque
 from typing import Iterator, Sequence
 
+import repro.telemetry as tele
 from repro.fleet.backends.base import (
     ExecutionBackend,
     RunPayload,
@@ -89,10 +90,16 @@ class LocalBackend(ExecutionBackend):
         pending = deque(enumerate(payloads))
         #: key -> [process, payload, deadline, dead_since]
         active: dict[int, list] = {}
+        batch_start = time.monotonic()
         try:
             while pending or active:
                 while pending and len(active) < workers:
                     key, payload = pending.popleft()
+                    # Queue wait: how long the unit waited for a slot.
+                    tele.count(
+                        "backend.queue_wait_s",
+                        time.monotonic() - batch_start,
+                    )
                     process = multiprocessing.Process(
                         target=_managed_worker,
                         args=(results, key, payload),

@@ -11,8 +11,10 @@ Use ``local`` or ``subprocess`` when budgets must kill.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, Sequence
 
+import repro.telemetry as tele
 from repro.fleet.backends.base import (
     ExecutionBackend,
     RunPayload,
@@ -31,7 +33,12 @@ class SerialBackend(ExecutionBackend):
         timeout_s: float | None = None,
     ) -> Iterator[dict]:
         """Run payloads in order; budgets are detected after the fact."""
+        batch_start = time.perf_counter()
         for payload in payloads:
+            # Queue wait: how long the unit sat behind its predecessors.
+            tele.count(
+                "backend.queue_wait_s", time.perf_counter() - batch_start
+            )
             record = payload.execute()
             wall = record.get("wall_time_s", 0.0)
             if timeout_s and wall > timeout_s:

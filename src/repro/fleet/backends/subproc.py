@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Iterator, Sequence
 
+import repro.telemetry as tele
 from repro.fleet.backends.base import (
     ExecutionBackend,
     RunPayload,
@@ -166,9 +167,15 @@ class SubprocessBackend(ExecutionBackend):
         workers = max(1, self.workers)
         pending = deque(payloads)
         active: list[_Worker] = []
+        batch_start = time.monotonic()
         try:
             while pending or active:
                 while pending and len(active) < workers:
+                    # Queue wait: how long the unit waited for a slot.
+                    tele.count(
+                        "backend.queue_wait_s",
+                        time.monotonic() - batch_start,
+                    )
                     active.append(self._spawn(pending.popleft(), timeout_s))
                 progressed = False
                 now = time.monotonic()

@@ -27,6 +27,7 @@ def main() -> int:
         payload["spec"],
         payload["axes"],
         payload["seed"],
+        telemetry=bool(payload.get("telemetry", False)),
     )
     json.dump(record, sys.stdout, sort_keys=True)
     sys.stdout.write("\n")

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
+import repro.telemetry as tele
 from repro.analysis.report import SCHEMA_VERSION
 from repro.analysis.series import downsample_series
 from repro.core.agrank import AgRankConfig
@@ -271,11 +272,14 @@ def execute_spec(spec: RunSpec) -> dict:
     versioned schema of :mod:`repro.analysis.report` (documented in
     DESIGN.md "Result records").
     """
-    return run_record(compile_spec(spec))
+    with tele.span("unit.compile"):
+        compiled = compile_spec(spec)
+    return run_record(compiled)
 
 
 def execute_payload(
-    run_id: str, spec_dict: dict, axes: dict, seed: int
+    run_id: str, spec_dict: dict, axes: dict, seed: int,
+    telemetry: bool = False,
 ) -> dict:
     """Execute one self-contained run-unit payload into a result record.
 
@@ -286,10 +290,23 @@ def execute_payload(
     cross process and machine boundaries; a unit that fails to compile
     or simulate comes back as a ``status: "error"`` record rather than
     an exception, so one bad unit never sinks the fleet.
+
+    With ``telemetry`` enabled a unit-scope collector is active for the
+    duration: the record gains flattened ``timings``/``counters`` blocks
+    plus a transient ``telemetry`` dict (the full span tree), which the
+    orchestrator strips into ``telemetry.jsonl`` — so subprocess-worker
+    telemetry rides the existing record pipe across the pickle boundary.
+    Metrics are derived before telemetry is attached; results are
+    bit-identical with telemetry on or off.
     """
     started = time.perf_counter()
+    collector = tele.Collector(scope="unit") if telemetry else None
     try:
-        record = execute_spec(RunSpec.from_dict(spec_dict))
+        if collector is not None:
+            with collector.activate():
+                record = execute_spec(RunSpec.from_dict(spec_dict))
+        else:
+            record = execute_spec(RunSpec.from_dict(spec_dict))
         record["status"] = "ok"
     except Exception as error:  # noqa: BLE001 - one bad unit must not sink the fleet
         record = {
@@ -302,6 +319,10 @@ def execute_payload(
     record["axes"] = axes
     record["seed"] = seed
     record["wall_time_s"] = time.perf_counter() - started
+    if collector is not None:
+        record["timings"] = collector.timings()
+        record["counters"] = collector.counters_dict()
+        record["telemetry"] = collector.to_dict()
     return record
 
 
@@ -314,7 +335,8 @@ def execute_trace(events: Sequence[TraceEvent], spec: RunSpec) -> dict:
 def run_record(compiled: CompiledRun) -> dict:
     """Simulate a compiled run and shape its flat metrics record."""
     spec = compiled.spec
-    simulation: SimulationResult = compiled.simulator().run()
+    with tele.span("unit.solve"):
+        simulation: SimulationResult = compiled.simulator().run()
     conference = compiled.conference
     record: dict = {
         "schema_version": SCHEMA_VERSION,

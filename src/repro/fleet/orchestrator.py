@@ -18,6 +18,7 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
+import repro.telemetry as tele
 from repro.analysis.report import (
     RESULTS_FILENAME,
     SPEC_FILENAME,
@@ -28,6 +29,12 @@ from repro.errors import SpecError
 from repro.fleet.matrix import RunUnit, expand_matrix
 from repro.fleet.scheduler import FleetScheduler, substrate_affinity
 from repro.fleet.spec import BACKEND_KINDS, RunSpec
+from repro.telemetry import (
+    TELEMETRY_FILENAME,
+    ProgressTicker,
+    load_run_telemetry,
+    telemetry_record,
+)
 
 __all__ = [
     "FleetOrchestrator",
@@ -61,6 +68,12 @@ class FleetResult:
     def results_path(self) -> Path:
         """Path of the per-run JSONL record file."""
         return self.out_dir / RESULTS_FILENAME
+
+    @property
+    def telemetry_path(self) -> Path:
+        """Path of the per-fleet telemetry file (exists only when the
+        run collected telemetry)."""
+        return self.out_dir / TELEMETRY_FILENAME
 
     def summary_table(self) -> str:
         """Aggregate summary table (axes x ``mean ± std`` metrics)."""
@@ -113,6 +126,8 @@ class FleetOrchestrator:
         backend: str | None = None,
         unit_timeout_s: float | None = None,
         max_retries: int | None = None,
+        telemetry: bool | None = None,
+        progress: bool = False,
     ) -> None:
         if workers is not None and workers < 0:
             raise SpecError(f"workers must be >= 0, got {workers}")
@@ -130,6 +145,8 @@ class FleetOrchestrator:
         self._backend = backend
         self._unit_timeout_s = unit_timeout_s
         self._max_retries = max_retries
+        self._telemetry = telemetry
+        self._progress = progress
 
     # Kept as a static alias: dispatch ordering lives in the scheduler,
     # but the affinity key itself is part of the orchestrator's public
@@ -189,26 +206,96 @@ class FleetOrchestrator:
         cache = self._load_cache()
         if not self._resume:
             (self._out_dir / RESULTS_FILENAME).unlink(missing_ok=True)
+        telemetry_on = (
+            self._telemetry
+            if self._telemetry is not None
+            else spec.execution.telemetry
+        )
+        ticker = (
+            ProgressTicker(total=len(units) - len(
+                [u for u in units if u.run_id in cache]
+            ))
+            if self._progress
+            else None
+        )
 
         # Fresh records append incrementally (and flushed) so an
         # interrupted fleet keeps its progress and the next invocation
-        # resumes from the cache.
-        with (self._out_dir / RESULTS_FILENAME).open(
-            "a", encoding="utf-8"
-        ) as handle:
+        # resumes from the cache.  Unit telemetry rides each record
+        # across the worker boundary as a transient ``telemetry`` key,
+        # stripped here into ``telemetry.jsonl``.  Unit telemetry of
+        # cached run ids carries forward, mirroring the results cache —
+        # a fully-cached re-run keeps its profile.
+        prior_units: list[dict] = []
+        if telemetry_on and cache:
+            try:
+                existing = load_run_telemetry(self._out_dir)
+            except ValueError:
+                existing = None  # torn/invalid file: drop, start fresh
+            if existing is not None:
+                prior_units = [
+                    record
+                    for run_id, record in existing.units.items()
+                    if run_id in cache
+                ]
+        tele_handle = (
+            (self._out_dir / TELEMETRY_FILENAME).open("w", encoding="utf-8")
+            if telemetry_on
+            else None
+        )
+        if tele_handle is not None:
+            for record in prior_units:
+                tele_handle.write(json.dumps(record, sort_keys=True) + "\n")
+        collector = tele.Collector(scope="fleet") if telemetry_on else None
+        try:
+            with (self._out_dir / RESULTS_FILENAME).open(
+                "a", encoding="utf-8"
+            ) as handle:
 
-            def persist(record: dict) -> None:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-                handle.flush()
+                def persist(record: dict) -> None:
+                    unit_telemetry = record.pop("telemetry", None)
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                    handle.flush()
+                    if tele_handle is not None and unit_telemetry is not None:
+                        line = telemetry_record(
+                            scope=unit_telemetry.get("scope", "unit"),
+                            spans=unit_telemetry.get("spans", []),
+                            counters=unit_telemetry.get("counters", {}),
+                            run_id=record.get("run_id"),
+                        )
+                        tele_handle.write(
+                            json.dumps(line, sort_keys=True) + "\n"
+                        )
+                        tele_handle.flush()
 
-            scheduler = FleetScheduler(
-                on_record=persist,
-                backend=self._backend,
-                workers=self._workers,
-                unit_timeout_s=self._unit_timeout_s,
-                max_retries=self._max_retries,
-            )
-            outcome = scheduler.run(units, cache)
+                scheduler = FleetScheduler(
+                    on_record=persist,
+                    backend=self._backend,
+                    workers=self._workers,
+                    unit_timeout_s=self._unit_timeout_s,
+                    max_retries=self._max_retries,
+                    telemetry=self._telemetry,
+                    on_progress=ticker.update if ticker is not None else None,
+                )
+                if collector is not None:
+                    with collector.activate(), tele.span("fleet.sweep"):
+                        outcome = scheduler.run(units, cache)
+                else:
+                    outcome = scheduler.run(units, cache)
+            if tele_handle is not None and collector is not None:
+                fleet_line = telemetry_record(
+                    scope="fleet",
+                    spans=collector.span_trees(),
+                    counters=collector.counters_dict(),
+                )
+                tele_handle.write(
+                    json.dumps(fleet_line, sort_keys=True) + "\n"
+                )
+        finally:
+            if tele_handle is not None:
+                tele_handle.close()
+            if ticker is not None:
+                ticker.close()
 
         records: list[dict] = []
         failed = timed_out = 0

@@ -34,6 +34,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
+import repro.telemetry as tele
 from repro.analysis.report import SCHEMA_VERSION
 from repro.fleet.backends import ExecutionBackend, RunPayload, create_backend
 from repro.fleet.matrix import RunUnit
@@ -101,14 +102,21 @@ class FleetScheduler:
         workers: int | None = None,
         unit_timeout_s: float | None = None,
         max_retries: int | None = None,
+        telemetry: bool | None = None,
+        on_progress: Callable[[dict], None] | None = None,
     ) -> None:
-        """``backend``/``workers``/``unit_timeout_s``/``max_retries``
-        override the corresponding ``execution:`` spec fields for every
-        unit (the CLI's ``--backend``/``--workers``/``--budget`` flags);
-        None defers to each unit's own spec.  ``on_record`` is called
-        once per fresh record as it resolves (the orchestrator's
-        incremental JSONL append)."""
+        """``backend``/``workers``/``unit_timeout_s``/``max_retries``/
+        ``telemetry`` override the corresponding ``execution:`` spec
+        fields for every unit (the CLI's ``--backend``/``--workers``/
+        ``--budget``/``--telemetry`` flags); None defers to each unit's
+        own spec.  ``on_record`` is called once per fresh record as it
+        resolves (the orchestrator's incremental JSONL append);
+        ``on_progress`` receives live scheduling events —
+        ``{"event": "dispatched", "count": n}`` when units enter a
+        backend and ``{"event": "record", "status": s}`` as each record
+        lands — the feed behind ``--progress``."""
         self._on_record = on_record or (lambda record: None)
+        self._on_progress = on_progress or (lambda event: None)
         self._backend_factory = backend_factory or (
             lambda execution: create_backend(
                 execution.backend, workers=execution.workers
@@ -121,6 +129,7 @@ class FleetScheduler:
                 "workers": workers,
                 "unit_timeout_s": unit_timeout_s,
                 "max_retries": max_retries,
+                "telemetry": telemetry,
             }.items()
             if value is not None
         }
@@ -183,6 +192,9 @@ class FleetScheduler:
     def _emit(self, record: dict, outcome: SchedulerOutcome) -> None:
         outcome.fresh[record["run_id"]] = record
         self._on_record(record)
+        self._on_progress(
+            {"event": "record", "status": record.get("status", "unknown")}
+        )
 
     def _dispatch(
         self,
@@ -195,9 +207,13 @@ class FleetScheduler:
         if not units:
             return
         ordered = sorted(units, key=substrate_affinity)
-        payloads = [RunPayload.from_unit(unit) for unit in ordered]
+        payloads = [
+            RunPayload.from_unit(unit, telemetry=execution.telemetry)
+            for unit in ordered
+        ]
         by_id = {payload.run_id: payload for payload in payloads}
         outcome.executed += len(payloads)
+        self._on_progress({"event": "dispatched", "count": len(payloads)})
         timeout = execution.unit_timeout_s or None
         attempts: dict[str, int] = {}
         queue = payloads
@@ -210,6 +226,7 @@ class FleetScheduler:
                     if tries <= execution.max_retries:
                         attempts[run_id] = tries + 1
                         retries.append(by_id[run_id])
+                        tele.count("scheduler.retries")
                         continue
                     # Retries exhausted: the crash becomes a first-class
                     # error record (the internal status never persists).
@@ -309,5 +326,6 @@ class FleetScheduler:
                         and unit.run_id not in cached
                     ):
                         outcome.pruned += 1
+                        tele.count("scheduler.pruned")
                         self._emit(pruned_record(unit, rung), outcome)
             survivors = [point for point in survivors if point in kept]

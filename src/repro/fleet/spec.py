@@ -639,6 +639,11 @@ class ExecutionSpec:
     #: Re-dispatches after a worker crash before the unit is recorded
     #: as failed.
     max_retries: int = 1
+    #: Collect span/counter telemetry (``telemetry.jsonl`` + the
+    #: ``timings``/``counters`` envelope block).  Off by default: the
+    #: disabled path is a zero-allocation no-op and results are
+    #: bit-identical either way (see ``repro.telemetry``).
+    telemetry: bool = False
     halving: HalvingSpec = field(default_factory=HalvingSpec)
 
     def __post_init__(self) -> None:

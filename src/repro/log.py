@@ -1,0 +1,65 @@
+"""Logging setup for the ``repro`` library and CLI.
+
+The library root logger (``"repro"``) carries a ``NullHandler`` so
+importing ``repro`` never produces surprise output; the CLI opts into
+stderr logging via :func:`configure`, driven by ``--verbose``/
+``--quiet``.  Deliverable output (reports, JSON, CSV) stays on stdout
+via ``print``; everything conversational goes through these loggers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure", "get_logger"]
+
+#: Name of the library root logger.
+ROOT = "repro"
+
+logging.getLogger(ROOT).addHandler(logging.NullHandler())
+
+
+class _StderrHandler(logging.StreamHandler):
+    """A stream handler that resolves ``sys.stderr`` at emit time, so
+    stream redirection (pytest's capsys, shell ``2>``) keeps working
+    after :func:`configure` has run."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value):  # StreamHandler.__init__ assigns; ignore it.
+        pass
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` root (the root itself if no name)."""
+    return logging.getLogger(f"{ROOT}.{name}" if name else ROOT)
+
+
+def configure(verbosity: int = 0) -> logging.Logger:
+    """Attach the CLI stderr handler at a verbosity-mapped level.
+
+    ``verbosity`` < 0 (``--quiet``) shows only errors, 0 the default
+    info messages, >= 1 (``--verbose``) debug detail.  Reconfiguring
+    replaces the previous CLI handler rather than stacking handlers.
+    """
+    root = logging.getLogger(ROOT)
+    for handler in list(root.handlers):
+        if isinstance(handler, _StderrHandler):
+            root.removeHandler(handler)
+    handler = _StderrHandler()
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    root.addHandler(handler)
+    if verbosity < 0:
+        root.setLevel(logging.ERROR)
+    elif verbosity == 0:
+        root.setLevel(logging.INFO)
+    else:
+        root.setLevel(logging.DEBUG)
+    return root

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.telemetry as tele
 from repro.errors import ModelError
 from repro.netsim.geo import GeoPoint, great_circle_km
 from repro.netsim.sites import CloudRegion, UserSite
@@ -222,12 +223,14 @@ def substrate_matrices(
     cached = _SUBSTRATE_CACHE.get(key)
     if cached is not None:
         _SUBSTRATE_STATS["hits"] += 1
+        tele.count("substrate.cache_hits")
         return cached
     inter_agent = model.inter_agent_matrix(regions)
     agent_user = model.agent_user_matrix(regions, sites)
     inter_agent.setflags(write=False)
     agent_user.setflags(write=False)
     _SUBSTRATE_STATS["builds"] += 1
+    tele.count("substrate.cache_misses")
     _SUBSTRATE_CACHE[key] = (inter_agent, agent_user)
     if len(_SUBSTRATE_CACHE) > _SUBSTRATE_CACHE_LIMIT:
         # Evict the oldest entry (dicts preserve insertion order).

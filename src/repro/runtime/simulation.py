@@ -30,6 +30,7 @@ from typing import Literal
 
 import numpy as np
 
+import repro.telemetry as tele
 from repro.core.agrank import AgRankConfig, agrank_assignment
 from repro.core.assignment import Assignment
 from repro.core.bootstrap import bootstrap_assignment
@@ -205,6 +206,7 @@ class ConferencingSimulator:
         if duration <= 0:
             return
         self._freezes += 1
+        tele.count("sim.freezes")
         for sid, (handle, wake_at) in list(self._wake_handles.items()):
             if sid == hopping_sid:
                 continue
@@ -250,6 +252,7 @@ class ConferencingSimulator:
                     self._recorder.record(
                         f"s{sid}/delay", now, float(np.mean(list(per_user.values())))
                     )
+        tele.count("sim.samples")
         next_sample = now + self._config.sample_interval_s
         if next_sample <= self._config.duration_s + 1e-9:
             self._queue.schedule(next_sample, "sample", priority=1)
@@ -259,6 +262,7 @@ class ConferencingSimulator:
         assignment = self._bootstrap_arrival(sid)
         self._solver.context.add_session(sid, assignment)
         self._schedule_wake(sid, now)
+        tele.count("sim.arrivals")
         self._trace_event_done()
 
     def _on_departure(self, sid: int, now: float) -> None:
@@ -268,6 +272,7 @@ class ConferencingSimulator:
         if handle_entry is not None:
             handle_entry[0].cancel()
         self._solver.context.remove_session(sid)
+        tele.count("sim.departures")
         self._trace_event_done()
 
     def _on_resize(self, sid: int, now: float) -> None:
@@ -296,6 +301,8 @@ class ConferencingSimulator:
         batch in flight at a time, pulled only when the previous batch
         has fully executed — unbounded streams never pile up)."""
         batch = self._player.next_batch(limit_s=self._config.duration_s)
+        if batch:
+            tele.count("trace.events", len(batch))
         self._pending_trace = len(batch)
         for event in batch:
             kind = self._TRACE_KINDS.get(type(event), "departure")
@@ -312,15 +319,16 @@ class ConferencingSimulator:
 
     def run(self) -> SimulationResult:
         """Execute the simulation and return all recorded artifacts."""
-        initial = self._bootstrap_initial()
-        self._solver = MarkovAssignmentSolver(
-            self._evaluator,
-            initial,
-            config=self._config.markov,
-            active_sids=list(self._player.initial_sids),
-            noise=self._noise,
-            rng=self._rng,
-        )
+        with tele.span("sim.bootstrap"):
+            initial = self._bootstrap_initial()
+            self._solver = MarkovAssignmentSolver(
+                self._evaluator,
+                initial,
+                config=self._config.markov,
+                active_sids=list(self._player.initial_sids),
+                noise=self._noise,
+                rng=self._rng,
+            )
         for sid in self._player.initial_sids:
             self._schedule_wake(sid, 0.0)
         self._pump_trace()

@@ -1,0 +1,88 @@
+"""Spans, counters and live fleet progress across the whole stack.
+
+``repro.telemetry`` is the observability layer the ROADMAP's scale-
+realism arc instruments first: hierarchical wall-time **spans**
+(``fleet.sweep`` → ``unit.compile`` → ``unit.solve`` →
+``solver.hop_batch``) and named **counters** (hops proposed/accepted,
+candidate-batch sizes, substrate-cache hits/misses, scheduler
+retries/prunes, backend queue-wait), collected per scope and serialized
+as one ``telemetry.jsonl`` line per instrumented unit beside the fleet's
+``results.jsonl``.
+
+Design rules:
+
+* **Zero-allocation no-op fast path** — instrumentation call sites use
+  the module-level :func:`span` / :func:`count` helpers, which check a
+  module-global collector stack.  With no collector active, :func:`span`
+  returns one shared no-op context manager and :func:`count` returns
+  immediately — no object is allocated, no clock is read — so the
+  bit-for-bit equivalence discipline of the solver kernel and execution
+  backends (PRs 2/5) is preserved and the disabled cost is negligible
+  (``benchmarks/bench_telemetry.py`` pins it).
+* **Scoped collectors, not global state** — a :class:`Collector` is
+  pushed for one scope (the orchestrator's ``fleet`` scope, a worker's
+  ``unit`` scope) and popped when the scope ends; nested scopes shadow
+  outer ones, so a serial backend executing units in-process never
+  leaks unit counters into the fleet's own.
+* **Aggregated span trees** — repeated spans aggregate by name under
+  their parent (call count + total seconds), so a sweep executing
+  thousands of ``solver.hop_batch`` spans serializes as one compact
+  node, not thousands of events.
+* **Telemetry never touches results** — spans and counters read the
+  monotonic clock only; no RNG is consumed and no record metric is
+  derived from them, so ``results.jsonl`` stays bit-identical with
+  telemetry on or off (the ``timings`` / ``counters`` envelope fields
+  are registered as volatile for :func:`~repro.analysis.report.
+  canonical_results_digest`).
+
+See DESIGN.md "Telemetry & tracing" for the span taxonomy and the
+``telemetry.jsonl`` line format.
+"""
+
+from repro.telemetry.collector import (
+    NOOP_SPAN,
+    Collector,
+    SpanNode,
+    active_collector,
+    collect,
+    count,
+    enabled,
+    span,
+)
+from repro.telemetry.io import (
+    TELEMETRY_FILENAME,
+    TELEMETRY_VERSION,
+    RunTelemetry,
+    aggregate_counters,
+    aggregate_timings,
+    load_run_telemetry,
+    load_telemetry_records,
+    span_names,
+    telemetry_record,
+    validate_telemetry_record,
+    write_telemetry_records,
+)
+from repro.telemetry.progress import ProgressTicker
+
+__all__ = [
+    "Collector",
+    "NOOP_SPAN",
+    "ProgressTicker",
+    "RunTelemetry",
+    "SpanNode",
+    "TELEMETRY_FILENAME",
+    "TELEMETRY_VERSION",
+    "active_collector",
+    "aggregate_counters",
+    "aggregate_timings",
+    "collect",
+    "count",
+    "enabled",
+    "load_run_telemetry",
+    "load_telemetry_records",
+    "span",
+    "span_names",
+    "telemetry_record",
+    "validate_telemetry_record",
+    "write_telemetry_records",
+]

@@ -1,0 +1,228 @@
+"""Span/counter collection with a zero-allocation disabled fast path.
+
+The module keeps one process-local stack of active collectors.  Call
+sites never hold a collector: they call the module-level :func:`span`
+and :func:`count`, which route to the innermost active collector — or
+do nothing, allocation-free, when the stack is empty.  Scopes nest:
+pushing a ``unit`` collector while a ``fleet`` collector is active
+shadows it, so in-process (serial-backend) unit execution keeps unit
+and fleet telemetry apart.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+__all__ = [
+    "Collector",
+    "NOOP_SPAN",
+    "SpanNode",
+    "active_collector",
+    "collect",
+    "count",
+    "enabled",
+    "span",
+]
+
+
+class SpanNode:
+    """One aggregated node of a span tree.
+
+    Repeated spans with the same name under the same parent share one
+    node: ``count`` accumulates invocations and ``total_s`` their summed
+    wall time, so hot spans (thousands of ``solver.hop_batch`` calls)
+    stay one compact node.
+    """
+
+    __slots__ = ("name", "count", "total_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.children: dict[str, SpanNode] = {}
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the ``telemetry.jsonl`` span-tree shape)."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_s": round(self.total_s, 6),
+            "children": [child.to_dict() for child in self.children.values()],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanNode({self.name!r}, count={self.count}, "
+            f"total_s={self.total_s:.6f}, children={list(self.children)})"
+        )
+
+
+class _Span:
+    """Context manager timing one entry of an aggregated span node."""
+
+    __slots__ = ("_collector", "_name", "_node", "_start")
+
+    def __init__(self, collector: "Collector", name: str) -> None:
+        self._collector = collector
+        self._name = name
+
+    def __enter__(self) -> SpanNode:
+        stack = self._collector._stack
+        parent = stack[-1]
+        node = parent.children.get(self._name)
+        if node is None:
+            node = SpanNode(self._name)
+            parent.children[self._name] = node
+        node.count += 1
+        stack.append(node)
+        self._node = node
+        self._start = perf_counter()
+        return node
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._node.total_s += perf_counter() - self._start
+        self._collector._stack.pop()
+        return False
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton no-op span: :func:`span` returns this exact object when
+#: no collector is active, so the disabled path allocates nothing.
+NOOP_SPAN = _NoopSpan()
+
+
+class Collector:
+    """Accumulates one scope's span tree and counters.
+
+    A collector does nothing until activated (:meth:`activate` or
+    :func:`collect`); while active it is the target of every module-
+    level :func:`span` / :func:`count` call made by the code it wraps.
+    """
+
+    __slots__ = ("scope", "counters", "_root", "_stack")
+
+    def __init__(self, scope: str = "unit") -> None:
+        self.scope = scope
+        self.counters: dict[str, float] = {}
+        self._root = SpanNode("")
+        self._stack: list[SpanNode] = [self._root]
+
+    # ------------------------------------------------------------------ #
+    # Recording                                                          #
+    # ------------------------------------------------------------------ #
+
+    def span(self, name: str) -> _Span:
+        """A context manager timing one (aggregated) span entry."""
+        return _Span(self, name)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named counter (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    @contextmanager
+    def activate(self) -> Iterator["Collector"]:
+        """Make this collector the target of :func:`span`/:func:`count`
+        for the duration of the ``with`` block (scopes nest)."""
+        _ACTIVE.append(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.pop()
+
+    # ------------------------------------------------------------------ #
+    # Export                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def spans(self) -> list[SpanNode]:
+        """The top-level spans recorded so far (children of the root)."""
+        return list(self._root.children.values())
+
+    def span_trees(self) -> list[dict]:
+        """Plain-dict span forest (one tree per top-level span)."""
+        return [node.to_dict() for node in self._root.children.values()]
+
+    def counters_dict(self) -> dict[str, float]:
+        """JSON-safe counter snapshot (floats rounded for compactness)."""
+        return {
+            name: (round(value, 6) if isinstance(value, float) else value)
+            for name, value in self.counters.items()
+        }
+
+    def timings(self) -> dict[str, float]:
+        """Flattened ``span path -> total seconds`` (paths join nesting
+        levels with ``/``) — the compact ``timings`` envelope block."""
+        out: dict[str, float] = {}
+
+        def walk(node: SpanNode, prefix: str) -> None:
+            for child in node.children.values():
+                path = f"{prefix}/{child.name}" if prefix else child.name
+                out[path] = round(child.total_s, 6)
+                walk(child, path)
+
+        walk(self._root, "")
+        return out
+
+    def to_dict(self) -> dict:
+        """``{"scope", "spans", "counters"}`` — the serialized form
+        embedded in worker result records and ``telemetry.jsonl``."""
+        return {
+            "scope": self.scope,
+            "spans": self.span_trees(),
+            "counters": self.counters_dict(),
+        }
+
+
+#: Process-local stack of active collectors (innermost last).
+_ACTIVE: list[Collector] = []
+
+
+def enabled() -> bool:
+    """Whether any collector is currently active in this process."""
+    return bool(_ACTIVE)
+
+
+def active_collector() -> Collector | None:
+    """The innermost active collector, or None when telemetry is off."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def span(name: str):
+    """A span context manager on the active collector.
+
+    Disabled fast path: with no active collector this returns the one
+    shared :data:`NOOP_SPAN` — no allocation, no clock read.
+    """
+    if _ACTIVE:
+        return _ACTIVE[-1].span(name)
+    return NOOP_SPAN
+
+
+def count(name: str, value: float = 1) -> None:
+    """Increment a named counter on the active collector (no-op when
+    telemetry is disabled)."""
+    if _ACTIVE:
+        counters = _ACTIVE[-1].counters
+        counters[name] = counters.get(name, 0) + value
+
+
+@contextmanager
+def collect(scope: str = "unit") -> Iterator[Collector]:
+    """Create and activate a fresh :class:`Collector` for a scope."""
+    collector = Collector(scope)
+    with collector.activate():
+        yield collector

@@ -1,0 +1,227 @@
+"""``telemetry.jsonl`` serialization, validation and aggregation.
+
+A fleet run with telemetry enabled writes one ``telemetry.jsonl`` beside
+its ``results.jsonl``.  Each line is one *telemetry record*::
+
+    {"telemetry_version": 1, "scope": "unit", "run_id": "...",
+     "spans": [<span tree>, ...], "counters": {"name": value, ...}}
+
+with span trees shaped ``{"name", "count", "total_s", "children"}``
+(children recurse).  ``scope`` is ``"unit"`` for per-run records and
+``"fleet"`` for the single orchestrator-level record (``run_id`` null).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "TELEMETRY_FILENAME",
+    "TELEMETRY_VERSION",
+    "RunTelemetry",
+    "aggregate_counters",
+    "aggregate_timings",
+    "load_run_telemetry",
+    "load_telemetry_records",
+    "span_names",
+    "telemetry_record",
+    "validate_telemetry_record",
+    "write_telemetry_records",
+]
+
+#: File written beside ``results.jsonl`` when telemetry is enabled.
+TELEMETRY_FILENAME = "telemetry.jsonl"
+
+#: Version stamp on every telemetry record line.
+TELEMETRY_VERSION = 1
+
+#: Keys every span-tree node must carry.
+_SPAN_KEYS = {"name", "count", "total_s", "children"}
+
+#: Valid values of a telemetry record's ``scope`` field.
+_SCOPES = ("unit", "fleet")
+
+
+def telemetry_record(
+    scope: str,
+    spans: list[dict],
+    counters: dict[str, float],
+    run_id: str | None = None,
+) -> dict:
+    """Build one validated ``telemetry.jsonl`` record dict."""
+    record = {
+        "telemetry_version": TELEMETRY_VERSION,
+        "scope": scope,
+        "run_id": run_id,
+        "spans": spans,
+        "counters": counters,
+    }
+    validate_telemetry_record(record)
+    return record
+
+
+def _validate_span_tree(node: object, path: str) -> None:
+    """Recursively check one span-tree node, raising ``ValueError``."""
+    if not isinstance(node, dict):
+        raise ValueError(f"span node at {path} is not a dict: {node!r}")
+    missing = _SPAN_KEYS - set(node)
+    if missing:
+        raise ValueError(f"span node at {path} missing keys {sorted(missing)}")
+    if not isinstance(node["name"], str) or not node["name"]:
+        raise ValueError(f"span node at {path} has invalid name {node['name']!r}")
+    if not isinstance(node["count"], int) or node["count"] < 1:
+        raise ValueError(f"span {node['name']!r} at {path} has invalid count")
+    if not isinstance(node["total_s"], (int, float)) or node["total_s"] < 0:
+        raise ValueError(f"span {node['name']!r} at {path} has invalid total_s")
+    if not isinstance(node["children"], list):
+        raise ValueError(f"span {node['name']!r} at {path} children not a list")
+    for child in node["children"]:
+        _validate_span_tree(child, f"{path}/{node['name']}")
+
+
+def validate_telemetry_record(record: dict) -> dict:
+    """Validate one telemetry record (raises ``ValueError`` on problems).
+
+    Checks the version stamp, scope, span-tree shape (every node carries
+    ``name``/``count``/``total_s``/``children`` with sane values), and
+    that counters map string names to numbers.  Returns the record.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(f"telemetry record is not a dict: {record!r}")
+    version = record.get("telemetry_version")
+    if version != TELEMETRY_VERSION:
+        raise ValueError(f"unsupported telemetry_version: {version!r}")
+    scope = record.get("scope")
+    if scope not in _SCOPES:
+        raise ValueError(f"invalid telemetry scope: {scope!r}")
+    run_id = record.get("run_id")
+    if run_id is not None and not isinstance(run_id, str):
+        raise ValueError(f"invalid telemetry run_id: {run_id!r}")
+    spans = record.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError("telemetry record 'spans' must be a list")
+    for node in spans:
+        _validate_span_tree(node, "")
+    counters = record.get("counters")
+    if not isinstance(counters, dict):
+        raise ValueError("telemetry record 'counters' must be a dict")
+    for name, value in counters.items():
+        if not isinstance(name, str) or not isinstance(value, (int, float)):
+            raise ValueError(f"invalid counter {name!r}: {value!r}")
+    return record
+
+
+def write_telemetry_records(path: str | Path, records: Iterable[dict]) -> int:
+    """Write telemetry records to ``path`` (one JSON line each).
+
+    Each record is validated before writing.  Returns the line count.
+    """
+    path = Path(path)
+    n = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            validate_telemetry_record(record)
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def load_telemetry_records(path: str | Path) -> list[dict]:
+    """Load and validate every record of a ``telemetry.jsonl`` file."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            try:
+                validate_telemetry_record(record)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+            records.append(record)
+    return records
+
+
+@dataclass
+class RunTelemetry:
+    """A fleet run's telemetry, split by scope for analysis.
+
+    ``units`` holds the per-run records (scope ``unit``) keyed by
+    ``run_id``; ``fleet`` the single orchestrator record, if present.
+    """
+
+    units: dict[str, dict] = field(default_factory=dict)
+    fleet: dict | None = None
+
+    @property
+    def records(self) -> list[dict]:
+        """All records, unit records first, in load order."""
+        out = list(self.units.values())
+        if self.fleet is not None:
+            out.append(self.fleet)
+        return out
+
+
+def load_run_telemetry(run_dir: str | Path) -> RunTelemetry:
+    """Load a fleet run directory's ``telemetry.jsonl`` into a
+    :class:`RunTelemetry` (empty when the file does not exist)."""
+    path = Path(run_dir) / TELEMETRY_FILENAME
+    telemetry = RunTelemetry()
+    if not path.exists():
+        return telemetry
+    for record in load_telemetry_records(path):
+        if record["scope"] == "fleet":
+            telemetry.fleet = record
+        else:
+            telemetry.units[record["run_id"]] = record
+    return telemetry
+
+
+def _walk(nodes: Iterable[dict], prefix: str) -> Iterator[tuple[str, dict]]:
+    """Yield ``(path, node)`` for every node of a span forest."""
+    for node in nodes:
+        path = f"{prefix}/{node['name']}" if prefix else node["name"]
+        yield path, node
+        yield from _walk(node["children"], path)
+
+
+def span_names(record: dict) -> set[str]:
+    """The set of ``/``-joined span paths present in one record."""
+    return {path for path, _ in _walk(record.get("spans", ()), "")}
+
+
+def aggregate_timings(records: Iterable[dict]) -> dict[str, dict]:
+    """Sum span trees across records into a flat phase-time table.
+
+    Returns ``path -> {"count", "total_s"}`` with paths joined by ``/``,
+    aggregated over every record — the input to the report's phase-time
+    breakdown.
+    """
+    out: dict[str, dict] = {}
+    for record in records:
+        for path, node in _walk(record.get("spans", ()), ""):
+            slot = out.setdefault(path, {"count": 0, "total_s": 0.0})
+            slot["count"] += node["count"]
+            slot["total_s"] += node["total_s"]
+    for slot in out.values():
+        slot["total_s"] = round(slot["total_s"], 6)
+    return out
+
+
+def aggregate_counters(records: Iterable[dict]) -> dict[str, float]:
+    """Sum named counters across telemetry records."""
+    out: dict[str, float] = {}
+    for record in records:
+        for name, value in record.get("counters", {}).items():
+            out[name] = out.get(name, 0) + value
+    return {
+        name: (round(value, 6) if isinstance(value, float) else value)
+        for name, value in out.items()
+    }

@@ -1,0 +1,106 @@
+"""Live fleet progress ticker for ``repro fleet run/sweep --progress``.
+
+The scheduler emits plain-dict events (``{"event": "dispatched",
+"count": n}`` when work is enqueued, ``{"event": "record", "status": s}``
+as each unit lands); :class:`ProgressTicker` folds them into a single
+``\\r``-rewritten stderr line with done/running/pruned/timeout counts and
+a rolling ETA.  It is pure presentation: it never touches results, and
+throttles redraws so tight schedulers don't spam the terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+from time import monotonic
+from typing import Callable, TextIO
+
+__all__ = ["ProgressTicker"]
+
+
+class ProgressTicker:
+    """Renders scheduler progress events as one live terminal line.
+
+    Parameters
+    ----------
+    total:
+        Expected number of units (drives percentage and ETA).
+    stream:
+        Output stream; defaults to ``sys.stderr`` resolved at write time.
+    clock:
+        Monotonic clock (injectable for tests).
+    min_interval:
+        Minimum seconds between redraws (final state always renders).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        stream: TextIO | None = None,
+        clock: Callable[[], float] = monotonic,
+        min_interval: float = 0.1,
+    ) -> None:
+        self.total = total
+        self._stream = stream
+        self._clock = clock
+        self._min_interval = min_interval
+        self._start = clock()
+        self._last_draw = -1.0
+        self.dispatched = 0
+        self.done = 0
+        self.statuses: dict[str, int] = {}
+        self._closed = False
+
+    @property
+    def running(self) -> int:
+        """Units dispatched but not yet landed."""
+        return max(0, self.dispatched - self.done)
+
+    def update(self, event: dict) -> None:
+        """Fold one scheduler progress event into the ticker state."""
+        kind = event.get("event")
+        if kind == "dispatched":
+            self.dispatched += int(event.get("count", 1))
+        elif kind == "record":
+            self.done += 1
+            status = str(event.get("status", "unknown"))
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+        self._draw()
+
+    def eta_s(self) -> float | None:
+        """Rolling ETA in seconds (None until the rate is measurable)."""
+        elapsed = self._clock() - self._start
+        if self.done <= 0 or elapsed <= 0:
+            return None
+        rate = self.done / elapsed
+        return max(0.0, (self.total - self.done) / rate)
+
+    def render(self) -> str:
+        """The current one-line progress string (without ``\\r``)."""
+        parts = [f"fleet {self.done}/{self.total}", f"running {self.running}"]
+        for status in ("pruned", "timeout", "failed", "crashed"):
+            n = self.statuses.get(status, 0)
+            if n:
+                parts.append(f"{status} {n}")
+        eta = self.eta_s()
+        if eta is not None:
+            parts.append(f"eta {eta:.0f}s")
+        return " | ".join(parts)
+
+    def _draw(self, force: bool = False) -> None:
+        now = self._clock()
+        if not force and now - self._last_draw < self._min_interval:
+            return
+        self._last_draw = now
+        stream = self._stream if self._stream is not None else sys.stderr
+        stream.write("\r" + self.render().ljust(60))
+        stream.flush()
+
+    def close(self) -> None:
+        """Render the final state and terminate the live line."""
+        if self._closed:
+            return
+        self._closed = True
+        self._draw(force=True)
+        stream = self._stream if self._stream is not None else sys.stderr
+        stream.write("\n")
+        stream.flush()

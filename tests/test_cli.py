@@ -52,8 +52,9 @@ class TestRun:
     def test_csv_without_series_reports(self, tmp_path, capsys):
         target = tmp_path / "fig2.csv"
         assert main(["run", "fig2", "--csv", str(target)]) == 0
-        out = capsys.readouterr().out
-        assert "no series data" in out
+        # Status chatter goes through the repro.log stderr handler now,
+        # not stdout (PR 6 satellite: no ad-hoc print for diagnostics).
+        assert "no series data" in capsys.readouterr().err
 
 
 class TestRegistryListing:
@@ -273,7 +274,7 @@ simulation:
 
         target = tmp_path / "fig2.jsonl"
         assert main(["run", "fig2", "--jsonl", str(target)]) == 0
-        assert "result records" in capsys.readouterr().out
+        assert "result records" in capsys.readouterr().err
         records = [
             json.loads(line)
             for line in target.read_text().strip().splitlines()

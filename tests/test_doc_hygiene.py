@@ -11,8 +11,9 @@ import pytest
 
 import repro.analysis
 import repro.fleet
+import repro.telemetry
 
-PACKAGES = (repro.fleet, repro.analysis)
+PACKAGES = (repro.fleet, repro.analysis, repro.telemetry)
 
 
 def _modules():

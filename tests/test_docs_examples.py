@@ -143,6 +143,47 @@ class TestBudgetedSweepWalkthrough:
         assert [r["status"] for r in sub] == ["ok"]
 
 
+class TestProfilingSweepWalkthrough:
+    """The EXPERIMENTS.md profiling commands execute and the telemetry
+    artifacts they describe exist and parse."""
+
+    @pytest.fixture(scope="class")
+    def walkthrough(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        section = text.split("## Profiling a sweep", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        commands = fenced_repro_commands(section)
+        assert len(commands) == 2, commands
+        return commands
+
+    def test_walkthrough_executes(
+        self, walkthrough, tmp_path, monkeypatch, capsys
+    ):
+        from repro.telemetry import load_run_telemetry, span_names
+
+        monkeypatch.chdir(tmp_path)
+        for command in walkthrough:
+            argv = shlex.split(command)[1:]
+            assert main(argv) == 0, f"walkthrough command failed: {command}"
+        captured = capsys.readouterr()
+        # The live ticker lives on stderr; the report is on stdout.
+        assert "fleet 4/4" in captured.err
+        assert "phase-time breakdown" in captured.out
+        telemetry = load_run_telemetry(tmp_path / "runs/profiled")
+        assert len(telemetry.units) == 4 and telemetry.fleet is not None
+        unit_names = set().union(
+            *(span_names(r) for r in telemetry.units.values())
+        )
+        for name in (
+            "unit.compile",
+            "unit.solve",
+            "unit.solve/sim.bootstrap",
+            "unit.solve/solver.hop_batch",
+        ):
+            assert name in unit_names, unit_names
+        assert "fleet.sweep" in span_names(telemetry.fleet)
+
+
 class TestComparingFleetsWalkthrough:
     """The EXPERIMENTS.md walkthrough commands actually execute."""
 

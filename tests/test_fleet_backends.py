@@ -117,7 +117,7 @@ class TestBackendEquivalence:
         assert clone == payload
         assert isinstance(clone.spec, dict)
         wire = payload.to_wire()
-        assert set(wire) == {"run_id", "spec", "axes", "seed"}
+        assert set(wire) == {"run_id", "spec", "axes", "seed", "telemetry"}
 
     def test_create_backend_registry(self):
         assert isinstance(create_backend("serial"), SerialBackend)

@@ -1,0 +1,308 @@
+"""Unit tests for ``repro.telemetry`` (collector, io, progress) and
+``repro.log``.
+
+The integration side — telemetry riding through real fleets, backends
+and reports — lives in ``test_fleet_telemetry.py``; this module pins
+the primitives: aggregated span trees, the zero-allocation disabled
+path, scope shadowing, record validation and the progress ticker's
+event folding.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+import repro.telemetry as tele
+from repro.log import _StderrHandler, configure, get_logger
+from repro.telemetry import (
+    NOOP_SPAN,
+    Collector,
+    ProgressTicker,
+    aggregate_counters,
+    aggregate_timings,
+    load_run_telemetry,
+    load_telemetry_records,
+    span_names,
+    telemetry_record,
+    validate_telemetry_record,
+    write_telemetry_records,
+)
+
+
+class TestCollector:
+    def test_disabled_path_is_shared_noop(self):
+        """With no active collector, span() returns the one shared
+        singleton (no allocation) and count() is a silent no-op."""
+        assert not tele.enabled()
+        assert tele.span("anything") is NOOP_SPAN
+        assert tele.span("other") is NOOP_SPAN
+        tele.count("anything", 5)  # must not raise, must not record
+        with tele.span("still.noop"):
+            pass
+        assert tele.active_collector() is None
+
+    def test_repeated_spans_aggregate_into_one_node(self):
+        with tele.collect() as collector:
+            for _ in range(3):
+                with tele.span("solve"):
+                    with tele.span("batch"):
+                        pass
+                    with tele.span("batch"):
+                        pass
+        (solve,) = collector.spans
+        assert solve.name == "solve" and solve.count == 3
+        (batch,) = solve.children.values()
+        assert batch.count == 6
+        assert solve.total_s >= batch.total_s >= 0.0
+
+    def test_counters_accumulate(self):
+        with tele.collect() as collector:
+            tele.count("hops")
+            tele.count("hops")
+            tele.count("wait_s", 0.25)
+            tele.count("wait_s", 0.5)
+        assert collector.counters_dict() == {"hops": 2, "wait_s": 0.75}
+
+    def test_nested_scopes_shadow(self):
+        """A unit collector activated inside a fleet collector receives
+        the spans/counters; the fleet scope stays clean (this is how
+        serial in-process unit execution keeps scopes apart)."""
+        fleet = Collector(scope="fleet")
+        unit = Collector(scope="unit")
+        with fleet.activate():
+            tele.count("fleet.only")
+            with unit.activate():
+                tele.count("unit.only")
+                with tele.span("unit.work"):
+                    pass
+            assert tele.active_collector() is fleet
+        assert fleet.counters_dict() == {"fleet.only": 1}
+        assert unit.counters_dict() == {"unit.only": 1}
+        assert [node.name for node in unit.spans] == ["unit.work"]
+        assert fleet.spans == []
+
+    def test_timings_flatten_nested_paths(self):
+        with tele.collect() as collector:
+            with tele.span("unit.solve"):
+                with tele.span("sim.bootstrap"):
+                    pass
+        timings = collector.timings()
+        assert set(timings) == {"unit.solve", "unit.solve/sim.bootstrap"}
+        assert all(value >= 0.0 for value in timings.values())
+
+    def test_to_dict_is_valid_telemetry_payload(self):
+        with tele.collect(scope="unit") as collector:
+            with tele.span("a"):
+                tele.count("n", 2)
+        payload = collector.to_dict()
+        record = telemetry_record(
+            scope=payload["scope"],
+            spans=payload["spans"],
+            counters=payload["counters"],
+            run_id="abc123",
+        )
+        validate_telemetry_record(record)
+        assert span_names(record) == {"a"}
+
+    def test_span_exits_cleanly_on_exception(self):
+        with tele.collect() as collector:
+            with pytest.raises(RuntimeError):
+                with tele.span("boom"):
+                    raise RuntimeError("x")
+            # The stack unwound: new spans land at the top level again.
+            with tele.span("after"):
+                pass
+        assert {node.name for node in collector.spans} == {"boom", "after"}
+
+
+class TestTelemetryIO:
+    def _record(self, **overrides):
+        base = telemetry_record(
+            scope="unit",
+            spans=[
+                {
+                    "name": "unit.solve",
+                    "count": 2,
+                    "total_s": 0.5,
+                    "children": [
+                        {
+                            "name": "hop",
+                            "count": 10,
+                            "total_s": 0.25,
+                            "children": [],
+                        }
+                    ],
+                }
+            ],
+            counters={"hops": 10},
+            run_id="deadbeef",
+        )
+        base.update(overrides)
+        return base
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        fleet = telemetry_record(scope="fleet", spans=[], counters={"x": 1})
+        assert write_telemetry_records(path, [self._record(), fleet]) == 2
+        records = load_telemetry_records(path)
+        assert records == [self._record(), fleet]
+        telemetry = load_run_telemetry(tmp_path)
+        assert set(telemetry.units) == {"deadbeef"}
+        assert telemetry.fleet == fleet
+        assert len(telemetry.records) == 2
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        telemetry = load_run_telemetry(tmp_path)
+        assert telemetry.units == {} and telemetry.fleet is None
+
+    @pytest.mark.parametrize(
+        "broken,match",
+        [
+            ({"telemetry_version": 99}, "telemetry_version"),
+            ({"scope": "galaxy"}, "scope"),
+            ({"run_id": 7}, "run_id"),
+            ({"spans": {}}, "spans"),
+            ({"counters": {"n": "many"}}, "counter"),
+        ],
+    )
+    def test_validation_rejects_bad_records(self, broken, match):
+        with pytest.raises(ValueError, match=match):
+            validate_telemetry_record(self._record(**broken))
+
+    def test_validation_recurses_into_span_children(self):
+        record = self._record()
+        record["spans"][0]["children"][0]["count"] = 0
+        with pytest.raises(ValueError, match="invalid count"):
+            validate_telemetry_record(record)
+
+    def test_load_diagnostics_carry_line_numbers(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        good = json.dumps(self._record(), sort_keys=True)
+        path.write_text(good + "\n{not json\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"telemetry\.jsonl:2"):
+            load_telemetry_records(path)
+        path.write_text(
+            good + "\n" + json.dumps({"telemetry_version": 1}) + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match=r"telemetry\.jsonl:2.*scope"):
+            load_telemetry_records(path)
+
+    def test_span_names_and_aggregation(self):
+        records = [self._record(), self._record(run_id="cafe")]
+        assert span_names(records[0]) == {"unit.solve", "unit.solve/hop"}
+        timings = aggregate_timings(records)
+        assert timings["unit.solve"] == {"count": 4, "total_s": 1.0}
+        assert timings["unit.solve/hop"] == {"count": 20, "total_s": 0.5}
+        assert aggregate_counters(records) == {"hops": 20}
+
+
+class TestProgressTicker:
+    def _ticker(self, total=4, **kwargs):
+        clock = iter(float(i) for i in range(1000))
+        stream = io.StringIO()
+        ticker = ProgressTicker(
+            total=total,
+            stream=stream,
+            clock=lambda: next(clock),
+            min_interval=0.0,
+            **kwargs,
+        )
+        return ticker, stream
+
+    def test_folds_events_and_renders_counts(self):
+        ticker, _ = self._ticker()
+        ticker.update({"event": "dispatched", "count": 4})
+        assert ticker.running == 4
+        ticker.update({"event": "record", "status": "ok"})
+        ticker.update({"event": "record", "status": "timeout"})
+        assert ticker.done == 2 and ticker.running == 2
+        line = ticker.render()
+        assert line.startswith("fleet 2/4 | running 2")
+        assert "timeout 1" in line
+        assert "eta" in line
+
+    def test_pruned_records_without_dispatch_stay_sane(self):
+        """Pruned units land as records that were never dispatched; the
+        running count must clamp at zero, not go negative."""
+        ticker, _ = self._ticker(total=2)
+        ticker.update({"event": "record", "status": "pruned"})
+        assert ticker.running == 0
+        assert "pruned 1" in ticker.render()
+
+    def test_draws_carriage_returns_and_close_is_idempotent(self):
+        ticker, stream = self._ticker(total=1)
+        ticker.update({"event": "dispatched", "count": 1})
+        ticker.update({"event": "record", "status": "ok"})
+        ticker.close()
+        ticker.close()
+        out = stream.getvalue()
+        assert out.count("\n") == 1 and out.endswith("\n")
+        assert "\rfleet 1/1" in out
+
+    def test_redraws_throttle(self):
+        stream = io.StringIO()
+        t = [0.0]
+        ticker = ProgressTicker(
+            total=10,
+            stream=stream,
+            clock=lambda: t[0],
+            min_interval=1.0,
+        )
+        ticker.update({"event": "dispatched", "count": 1})  # first: draws
+        first = stream.getvalue()
+        assert first
+        t[0] = 0.5
+        ticker.update({"event": "record", "status": "ok"})  # skip
+        t[0] = 0.9
+        ticker.update({"event": "record", "status": "ok"})  # skip
+        assert stream.getvalue() == first
+        t[0] = 1.5
+        ticker.update({"event": "record", "status": "ok"})  # past interval
+        assert stream.getvalue() != first
+
+
+class TestReproLog:
+    def test_library_root_has_null_handler(self):
+        root = logging.getLogger("repro")
+        assert any(
+            isinstance(handler, logging.NullHandler)
+            for handler in root.handlers
+        )
+
+    def test_configure_replaces_instead_of_stacking(self):
+        configure(0)
+        configure(1)
+        root = logging.getLogger("repro")
+        stderr_handlers = [
+            handler
+            for handler in root.handlers
+            if isinstance(handler, _StderrHandler)
+        ]
+        assert len(stderr_handlers) == 1
+
+    @pytest.mark.parametrize(
+        "verbosity,level",
+        [(-1, logging.ERROR), (0, logging.INFO), (2, logging.DEBUG)],
+    )
+    def test_verbosity_levels(self, verbosity, level):
+        assert configure(verbosity).level == level
+
+    def test_emits_to_current_stderr(self, capsys):
+        """The handler resolves sys.stderr at emit time, so capture
+        mechanisms installed after configure() still see messages."""
+        configure(0)
+        get_logger("cli").info("status line %d", 7)
+        assert "status line 7" in capsys.readouterr().err
+
+    def test_quiet_suppresses_info_but_not_error(self, capsys):
+        configure(-1)
+        log = get_logger("cli")
+        log.info("hidden")
+        log.error("shown")
+        err = capsys.readouterr().err
+        assert "hidden" not in err and "shown" in err
