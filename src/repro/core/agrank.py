@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.core.assignment import Assignment
 from repro.core.capacity import CapacityLedger
-from repro.core.traffic import compute_session_usage
+from repro.core.fastpath import profile_for
 from repro.errors import InfeasibleError, SolverError
 from repro.model.conference import Conference
 from repro.model.representation import Representation
@@ -321,7 +321,11 @@ def agrank_assignment(
         for i, agent in placements.items():
             task_agent[i] = agent
         candidate = Assignment(user_agent, task_agent)
-        usage = compute_session_usage(conference, candidate, sid)
+        # The profile kernel is pinned bit-identical to
+        # ``compute_session_usage``; the combo loop is NN-GBR's hot path.
+        usage = profile_for(conference).session_usage(
+            candidate.user_agent, candidate.task_agent, sid
+        )
         fits = bool(
             np.all(usage.download <= res_down + 1e-9)
             and np.all(usage.upload <= res_up + 1e-9)

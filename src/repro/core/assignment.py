@@ -49,6 +49,25 @@ class Assignment:
     # ------------------------------------------------------------------ #
 
     @classmethod
+    def _adopt(cls, user_agent: np.ndarray, task_agent: np.ndarray) -> "Assignment":
+        """Internal: wrap already-validated int64 vectors without copying.
+
+        Callers hand over ownership — the arrays are frozen in place, so
+        they must be private copies (or already-frozen arrays of another
+        instance).  This keeps the copy-on-write updates at one array
+        copy instead of three (the public constructor re-copies both
+        vectors defensively), which matters on the hop path where every
+        accepted migration materializes a neighbouring assignment.
+        """
+        self = cls.__new__(cls)
+        user_agent.setflags(write=False)
+        task_agent.setflags(write=False)
+        self._user_agent = user_agent
+        self._task_agent = task_agent
+        self._key = None
+        return self
+
+    @classmethod
     def empty(cls, conference: Conference) -> "Assignment":
         """An all-unassigned state sized for ``conference``."""
         return cls(
@@ -105,13 +124,13 @@ class Assignment:
         """A copy with user ``uid`` attached to ``agent``."""
         ua = self._user_agent.copy()
         ua[uid] = agent
-        return Assignment(ua, self._task_agent)
+        return Assignment._adopt(ua, self._task_agent)
 
     def with_task(self, pair_index: int, agent: int) -> "Assignment":
         """A copy with transcoding pair ``pair_index`` placed on ``agent``."""
         ta = self._task_agent.copy()
         ta[pair_index] = agent
-        return Assignment(self._user_agent, ta)
+        return Assignment._adopt(self._user_agent, ta)
 
     def with_session_cleared(self, conference: Conference, sid: int) -> "Assignment":
         """A copy with session ``sid`` fully unassigned (used on departure)."""
@@ -122,7 +141,7 @@ class Assignment:
         idx = list(conference.session_pair_indices(sid))
         if idx:
             ta[idx] = UNASSIGNED
-        return Assignment(ua, ta)
+        return Assignment._adopt(ua, ta)
 
     def merged(self, other: "Assignment", conference: Conference, sid: int) -> "Assignment":
         """A copy taking session ``sid``'s decisions from ``other``."""
@@ -134,7 +153,7 @@ class Assignment:
         idx = list(conference.session_pair_indices(sid))
         if idx:
             ta[idx] = other.task_agent[idx]
-        return Assignment(ua, ta)
+        return Assignment._adopt(ua, ta)
 
     # ------------------------------------------------------------------ #
     # Identity                                                           #

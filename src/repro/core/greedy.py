@@ -5,15 +5,25 @@ with the largest objective improvement until a local optimum is reached.
 Serves as a deterministic reference point in the ablation benches: Markov
 approximation should match or beat it in expectation (it can escape local
 optima; greedy cannot).
+
+On the vectorized kernels the whole-conference sweep is a per-session
+``phi_current - batch.phi`` gain vector and one ``argmax`` per session;
+only the iteration's single winning candidate is materialized.  The
+selection is identical to the reference scan: ``np.argmax`` returns the
+*first* maximal gain (the reference's strict ``>`` keeps the first too),
+and cross-session comparison stays strict, so earlier sessions win ties
+exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.assignment import Assignment
 from repro.core.objective import ObjectiveEvaluator
-from repro.core.search import SearchContext
+from repro.core.search import CandidateBatch, SearchContext
 from repro.netsim.noise import NoiseModel
 
 #: Minimum objective improvement for a move to count (guards float noise).
@@ -30,28 +40,59 @@ class GreedyResult:
     converged: bool
 
 
-def greedy_descent(
-    evaluator: ObjectiveEvaluator,
-    initial_assignment: Assignment,
-    active_sids: list[int] | None = None,
-    max_iterations: int = 10_000,
-    noise: NoiseModel | None = None,
-) -> GreedyResult:
-    """Best-improvement local search to a local optimum of UAP."""
-    context = SearchContext(
-        evaluator, initial_assignment, active_sids=active_sids, noise=noise
-    )
-    iterations = 0
-    while iterations < max_iterations:
-        best = None
-        best_sid = -1
-        best_gain = IMPROVEMENT_EPSILON
+def _best_improvement(
+    context: SearchContext, best_gain: float
+) -> tuple[object, int, float]:
+    """The iteration's strictly-best move across every active session."""
+    best = None
+    best_sid = -1
+    if context.kernel == "reference":
         for sid in context.active_sessions:
             phi_current = context.session_cost(sid).phi
             for candidate in context.feasible_candidates(sid):
                 gain = phi_current - candidate.phi
                 if gain > best_gain:
                     best, best_sid, best_gain = candidate, sid, gain
+        return best, best_sid, best_gain
+    best_batch: CandidateBatch | None = None
+    best_position = -1
+    for sid in context.active_sessions:
+        phi_current = context.session_cost(sid).phi
+        batch = context.candidate_batch(sid)
+        if batch.num_feasible == 0:
+            continue
+        gains = phi_current - batch.phi
+        position = int(np.argmax(gains))
+        gain = float(gains[position])
+        if gain > best_gain:
+            best_batch, best_position = batch, position
+            best_sid, best_gain = sid, gain
+    if best_batch is not None:
+        best = best_batch.materialize(best_position)
+    return best, best_sid, best_gain
+
+
+def greedy_descent(
+    evaluator: ObjectiveEvaluator,
+    initial_assignment: Assignment,
+    active_sids: list[int] | None = None,
+    max_iterations: int = 10_000,
+    noise: NoiseModel | None = None,
+    kernel: str | None = None,
+) -> GreedyResult:
+    """Best-improvement local search to a local optimum of UAP."""
+    context = SearchContext(
+        evaluator,
+        initial_assignment,
+        active_sids=active_sids,
+        noise=noise,
+        kernel=kernel,
+    )
+    iterations = 0
+    while iterations < max_iterations:
+        best, best_sid, _gain = _best_improvement(
+            context, IMPROVEMENT_EPSILON
+        )
         if best is None:
             return GreedyResult(
                 assignment=context.assignment,

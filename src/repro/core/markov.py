@@ -23,11 +23,12 @@ Two hop rules are provided:
   rebuilt).  :mod:`repro.core.theory` quantifies the difference on
   enumerable instances.
 
-Candidate evaluation runs on the vectorized kernel of
-:mod:`repro.core.batched` by default; ``MarkovConfig(batched=False)``
-selects the per-move reference path.  The two are bit-for-bit equivalent
-(same candidates, same ``phi``, same rng consumption), so trajectories
-are identical under either flag.
+Candidate evaluation runs on the struct-of-arrays kernel of
+:mod:`repro.core.arrays` by default; ``MarkovConfig(kernel="batched")``
+selects PR 2's per-session batch kernel and ``kernel="reference"`` (or
+the legacy ``batched=False``) the per-move reference path.  All three
+are bit-for-bit equivalent (same candidates, same ``phi``, same rng
+consumption), so trajectories are identical under any kernel.
 
 All hop weights are computed in the log domain, so raw-unit objectives with
 ``beta = 400`` are handled without overflow.
@@ -48,7 +49,12 @@ import repro.telemetry as tele
 from repro.core.assignment import Assignment
 from repro.core.neighborhood import Move
 from repro.core.objective import ObjectiveEvaluator
-from repro.core.search import Candidate, CandidateBatch, SearchContext
+from repro.core.search import (
+    Candidate,
+    CandidateBatch,
+    SearchContext,
+    resolve_kernel,
+)
 from repro.errors import SolverError
 from repro.model.conference import Conference
 from repro.netsim.noise import NoiseModel
@@ -67,6 +73,20 @@ def hop_probabilities(
     log_w -= log_w.max()
     weights = np.exp(log_w)
     return weights / weights.sum()
+
+
+def _sample_index(rng: np.random.Generator, probabilities: np.ndarray) -> int:
+    """Draw one index distributed as ``probabilities``.
+
+    Replicates ``rng.choice(n, p=probabilities)`` draw-for-draw — numpy's
+    ``Generator.choice`` builds the same renormalized cumulative sum and
+    bisects it against a single ``rng.random()`` — while skipping its
+    per-call argument validation, which is pure overhead on the hop hot
+    path where the probabilities are freshly normalized each time.
+    """
+    cdf = probabilities.cumsum()
+    cdf /= cdf[-1]
+    return int(cdf.searchsorted(rng.random(), side="right"))
 
 
 def metropolis_log_acceptance(
@@ -103,14 +123,20 @@ class MarkovConfig:
     hop_rule:
         ``"paper"`` or ``"metropolis"`` (see module docstring).
     batched:
-        Use the vectorized candidate-evaluation kernel (default) or the
-        per-move reference path; trajectories are identical either way.
+        Legacy kernel flag (``True`` -> ``"batched"``, ``False`` ->
+        ``"reference"``); superseded by ``kernel`` and normalized to
+        match it after construction.
+    kernel:
+        Candidate-evaluation kernel (:data:`repro.core.search.KERNELS`);
+        defaults to ``"arrays"``.  Trajectories are identical under any
+        kernel.
     """
 
     beta: float = 400.0
     tau: float = 0.1
     hop_rule: Literal["paper", "metropolis"] = "paper"
-    batched: bool = True
+    batched: bool | None = None
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.beta <= 0:
@@ -119,6 +145,9 @@ class MarkovConfig:
             raise SolverError(f"tau must be positive, got {self.tau}")
         if self.hop_rule not in ("paper", "metropolis"):
             raise SolverError(f"unknown hop rule {self.hop_rule!r}")
+        resolved = resolve_kernel(self.kernel, self.batched)
+        object.__setattr__(self, "kernel", resolved)
+        object.__setattr__(self, "batched", resolved != "reference")
 
 
 @dataclass(frozen=True)
@@ -160,7 +189,7 @@ class MarkovAssignmentSolver:
             active_sids=active_sids,
             noise=noise,
             rng=self._rng,
-            batched=self._config.batched,
+            kernel=self._config.kernel,
         )
         self._hops = 0
         self._migrations = 0
@@ -231,9 +260,19 @@ class MarkovAssignmentSolver:
         full :class:`Candidate`.
         """
         self._hops += 1
-        tele.count("solver.hops_proposed")
+        # One collector lookup per hop: with telemetry disabled the whole
+        # hop touches no counter dicts and allocates no span (the
+        # REPRO_PERF overhead guard depends on this at SoA scale).
+        collector = tele.active_collector()
+        if collector is not None:
+            collector.count("solver.hops_proposed")
         phi_before = self._context.session_cost(sid).phi
-        with tele.span("solver.hop_batch"):
+        span = (
+            collector.span("solver.hop_batch")
+            if collector is not None
+            else tele.NOOP_SPAN
+        )
+        with span:
             if self._context.batched:
                 batch = self._context.candidate_batch(sid)
                 num_candidates = batch.num_feasible
@@ -253,14 +292,16 @@ class MarkovAssignmentSolver:
                 else:
                     chosen = self._metropolis_hop(sid, phi_before, candidates)
 
-        tele.count("solver.candidates", num_candidates)
+        if collector is not None:
+            collector.count("solver.candidates", num_candidates)
         if chosen is None:
             return HopResult(
                 sid, False, None, phi_before, phi_before, num_candidates
             )
         self._context.commit(sid, chosen)
         self._migrations += 1
-        tele.count("solver.hops_accepted")
+        if collector is not None:
+            collector.count("solver.hops_accepted")
         phi_total = self._context.total_phi()
         if phi_total < self._best_phi:
             self._best_phi = phi_total
@@ -277,13 +318,11 @@ class MarkovAssignmentSolver:
     def _paper_hop(self, phi_before: float, candidates: list[Candidate]) -> Candidate:
         phis = np.array([c.phi for c in candidates])
         probabilities = hop_probabilities(phi_before, phis, self._config.beta)
-        index = int(self._rng.choice(len(candidates), p=probabilities))
-        return candidates[index]
+        return candidates[_sample_index(self._rng, probabilities)]
 
     def _paper_hop_batch(self, phi_before: float, batch: CandidateBatch) -> Candidate:
         probabilities = hop_probabilities(phi_before, batch.phi, self._config.beta)
-        index = int(self._rng.choice(batch.num_feasible, p=probabilities))
-        return batch.materialize(index)
+        return batch.materialize(_sample_index(self._rng, probabilities))
 
     def _metropolis_hop(
         self, sid: int, phi_before: float, candidates: list[Candidate]

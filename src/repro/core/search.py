@@ -7,16 +7,22 @@ assignment, the capacity ledger, cached per-session costs, and candidate
 evaluation (usage + capacity fit + delay cap + session-local objective),
 so the solvers reduce to their selection rules.
 
-Candidate evaluation has two interchangeable paths:
+Candidate evaluation has three interchangeable kernels:
 
-* the **reference** path (:meth:`SearchContext.evaluate_move`) evaluates
-  one move at a time through the per-assignment fastpath kernels, and
-* the **batched** path (:meth:`SearchContext.candidate_batch`) evaluates
-  the whole move set in one :mod:`repro.core.batched` array pass.
+* ``"reference"`` (:meth:`SearchContext.evaluate_move`) evaluates one
+  move at a time through the per-assignment fastpath kernels,
+* ``"batched"`` (:meth:`SearchContext.candidate_batch`) evaluates the
+  whole move set in one :mod:`repro.core.batched` array pass, and
+* ``"arrays"`` (the default) runs the same batch pass on the
+  struct-of-arrays layouts of :mod:`repro.core.arrays`, with the
+  conference-level ``phi`` kept in a :class:`~repro.core.arrays.
+  PhiArray` and the committed cost reused from the candidate batch.
 
-Both produce bit-identical candidate sets, masks and ``phi`` values (the
-equivalence suite in ``tests/test_core_batched.py`` pins this), so the
-``batched`` flag is purely a performance switch; it defaults to on.
+All three produce bit-identical candidate sets, masks and ``phi``
+values (``tests/test_core_batched.py`` and ``tests/test_core_arrays.py``
+pin this), so the ``kernel`` choice is purely a performance switch.
+The legacy ``batched`` flag maps onto it (``True`` -> ``"batched"``,
+``False`` -> ``"reference"``).
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.arrays import PhiArray, arrays_for
 from repro.core.assignment import Assignment
 from repro.core.batched import BatchEvaluation, capacity_mask, delay_mask
 from repro.core.capacity import CapacityLedger
@@ -35,6 +42,41 @@ from repro.core.traffic import SessionUsage
 from repro.errors import ModelError, SolverError
 from repro.model.conference import Conference
 from repro.netsim.noise import NoiseModel, NoNoise
+
+#: Candidate-evaluation kernels, slowest to fastest; all bit-identical.
+KERNELS = ("reference", "batched", "arrays")
+
+#: Shared read-only ``arange`` prefixes for fully-feasible candidate
+#: batches (the overwhelmingly common case on uncongested conferences),
+#: keyed by length.
+_IDENTITY_INDICES: dict[int, np.ndarray] = {}
+
+
+def _identity_indices(n: int) -> np.ndarray:
+    indices = _IDENTITY_INDICES.get(n)
+    if indices is None:
+        indices = np.arange(n, dtype=np.int64)
+        indices.setflags(write=False)
+        _IDENTITY_INDICES[n] = indices
+    return indices
+
+
+def resolve_kernel(kernel: str | None, batched: bool | None) -> str:
+    """Fold the legacy ``batched`` flag and the ``kernel`` name into one
+    validated kernel choice (both unset -> ``"arrays"``)."""
+    if kernel is None:
+        if batched is None:
+            return "arrays"
+        return "batched" if batched else "reference"
+    if kernel not in KERNELS:
+        raise SolverError(
+            f"unknown search kernel {kernel!r}; expected one of {KERNELS}"
+        )
+    if batched is not None and bool(batched) != (kernel != "reference"):
+        raise SolverError(
+            f"kernel {kernel!r} contradicts batched={batched!r}"
+        )
+    return kernel
 
 
 @dataclass(frozen=True)
@@ -71,7 +113,12 @@ class CandidateBatch:
     ):
         self._evaluation = evaluation
         self._feasible = feasible
-        self._feasible_indices = np.flatnonzero(feasible)
+        self._all_feasible = bool(feasible.all())
+        self._feasible_indices = (
+            _identity_indices(feasible.shape[0])
+            if self._all_feasible
+            else np.flatnonzero(feasible)
+        )
         self._phi_observed = phi_observed
         self._traffic = traffic
         self._transcode = transcode
@@ -97,12 +144,14 @@ class CandidateBatch:
     @property
     def phi(self) -> np.ndarray:
         """Observed ``phi`` of the feasible candidates, enumeration order."""
+        if self._all_feasible:
+            return self._phi_observed
         return self._phi_observed[self._feasible_indices]
 
     def materialize(self, position: int) -> Candidate:
         """Build the full :class:`Candidate` for the ``position``-th
         *feasible* neighbour (the index the hop rules select on)."""
-        i = int(self._feasible_indices[position])
+        i = position if self._all_feasible else int(self._feasible_indices[position])
         evaluation = self._evaluation
         move = evaluation.moves.move(i)
         usage = SessionUsage(
@@ -146,8 +195,12 @@ class SearchContext:
     rng:
         Generator used only for noise draws here; solvers hold their own.
     batched:
-        Select the vectorized candidate-evaluation kernel (default) or
-        the per-move reference path; both yield bit-identical candidates.
+        Legacy kernel flag (``True`` -> ``"batched"``, ``False`` ->
+        ``"reference"``); superseded by ``kernel``.
+    kernel:
+        One of :data:`KERNELS`; defaults to ``"arrays"`` when neither it
+        nor ``batched`` is given.  All kernels yield bit-identical
+        candidates.
     """
 
     def __init__(
@@ -157,9 +210,11 @@ class SearchContext:
         active_sids: list[int] | None = None,
         noise: NoiseModel | None = None,
         rng: np.random.Generator | None = None,
-        batched: bool = True,
+        batched: bool | None = None,
+        kernel: str | None = None,
     ):
-        self._batched = bool(batched)
+        self._kernel = resolve_kernel(kernel, batched)
+        self._batched = self._kernel != "reference"
         self._evaluator = evaluator
         self._conference = evaluator.conference
         self._active = (
@@ -172,12 +227,27 @@ class SearchContext:
         self._assignment = assignment
         self._noise: NoiseModel = noise if noise is not None else NoNoise()
         self._rng = rng if rng is not None else np.random.default_rng(0)
-        self._ledger = CapacityLedger.from_assignment(
-            self._conference, assignment, self._active
-        )
         self._costs: dict[int, SessionCost] = {
             sid: evaluator.session_cost(assignment, sid) for sid in self._active
         }
+        if self._kernel == "arrays":
+            # Struct-of-arrays extras: the hop kernel's flattened session
+            # layouts, the phi mirror, and a ledger fed from the costs
+            # just computed (``profile.session_usage`` is pinned
+            # bit-identical to ``compute_session_usage``).
+            self._arrays = arrays_for(evaluator.profile)
+            self._phi = PhiArray(
+                {sid: cost.phi for sid, cost in self._costs.items()}
+            )
+            self._ledger = CapacityLedger(self._conference)
+            for cost in self._costs.values():
+                self._ledger.set_session(cost.usage)
+        else:
+            self._arrays = None
+            self._phi = None
+            self._ledger = CapacityLedger.from_assignment(
+                self._conference, assignment, self._active
+            )
 
     # ------------------------------------------------------------------ #
     # State access                                                       #
@@ -205,13 +275,20 @@ class SearchContext:
 
     @property
     def batched(self) -> bool:
-        """Whether candidate evaluation uses the vectorized kernel."""
+        """Whether candidate evaluation uses a vectorized kernel."""
         return self._batched
+
+    @property
+    def kernel(self) -> str:
+        """The selected candidate-evaluation kernel (:data:`KERNELS`)."""
+        return self._kernel
 
     def session_cost(self, sid: int) -> SessionCost:
         return self._costs[sid]
 
     def total_phi(self) -> float:
+        if self._phi is not None:
+            return self._phi.total()
         return sum(cost.phi for cost in self._costs.values())
 
     def metrics(self) -> tuple[float, float]:
@@ -281,9 +358,7 @@ class SearchContext:
         in enumeration order, consuming the generator exactly as the
         reference path does.
         """
-        evaluation = self._evaluator.profile.evaluate_candidates(
-            self._assignment, sid
-        )
+        evaluation = self._evaluate_candidates(self._assignment, sid)
         feasible = self._feasibility_mask(sid, evaluation)
         traffic = self._evaluator.traffic_cost_batch(evaluation.inter_in)
         transcode = self._evaluator.transcode_cost_batch(evaluation.transcodes)
@@ -300,6 +375,14 @@ class SearchContext:
             transcode=transcode,
             base_assignment=self._assignment,
         )
+
+    def _evaluate_candidates(
+        self, assignment: Assignment, sid: int
+    ) -> BatchEvaluation:
+        """One batch evaluation on the selected vectorized kernel."""
+        if self._arrays is not None:
+            return self._arrays.evaluate_candidates(assignment, sid)
+        return self._evaluator.profile.evaluate_candidates(assignment, sid)
 
     def _feasibility_mask(self, sid: int, evaluation: BatchEvaluation) -> np.ndarray:
         mask = delay_mask(evaluation, self._conference.dmax_ms)
@@ -320,7 +403,7 @@ class SearchContext:
         answers the question without rebuilding any search state.
         """
         if self._batched:
-            evaluation = self._evaluator.profile.evaluate_candidates(assignment, sid)
+            evaluation = self._evaluate_candidates(assignment, sid)
             if evaluation.size == 0:
                 return 0
             return int(np.count_nonzero(self._feasibility_mask(sid, evaluation)))
@@ -350,12 +433,21 @@ class SearchContext:
 
         The committed cost is re-evaluated noiselessly so the context's
         view of the current state stays exact (noise applies to
-        *observations* of candidates, not to the state itself).
+        *observations* of candidates, not to the state itself).  Without
+        noise the candidate's stored cost already *is* that exact cost
+        (the equivalence suites pin batch values against the reference
+        recomputation bit-for-bit), so the arrays kernel skips the
+        redundant per-hop recomputation.
         """
         self._assignment = candidate.assignment
-        exact_cost = self._evaluator.session_cost(candidate.assignment, sid)
+        if self._phi is not None and isinstance(self._noise, NoNoise):
+            exact_cost = candidate.cost
+        else:
+            exact_cost = self._evaluator.session_cost(candidate.assignment, sid)
         self._costs[sid] = exact_cost
         self._ledger.set_session(exact_cost.usage)
+        if self._phi is not None:
+            self._phi.set(sid, exact_cost.phi)
 
     # ------------------------------------------------------------------ #
     # Session dynamics (arrivals / departures)                           #
@@ -372,6 +464,8 @@ class SearchContext:
         self._costs[sid] = cost
         self._ledger.set_session(cost.usage)
         self._active = sorted(self._active + [sid])
+        if self._phi is not None:
+            self._phi.append(sid, cost.phi)
 
     def remove_session(self, sid: int) -> None:
         """Deactivate a session and release its capacity."""
@@ -380,4 +474,6 @@ class SearchContext:
         del self._costs[sid]
         self._ledger.remove_session(sid)
         self._active.remove(sid)
+        if self._phi is not None:
+            self._phi.remove(sid)
         self._assignment = self._assignment.with_session_cleared(self._conference, sid)

@@ -209,7 +209,9 @@ def compile_spec(spec: RunSpec) -> CompiledRun:
             hop_interval_mean_s=spec.simulation.hop_interval_mean_s,
             freeze_duration_s=spec.simulation.freeze_duration_s,
             markov=MarkovConfig(
-                beta=effective_beta(solver.beta), hop_rule=solver.hop_rule
+                beta=effective_beta(solver.beta),
+                hop_rule=solver.hop_rule,
+                kernel=solver.kernel,
             ),
             initial_policy=solver.policy,
             agrank=AgRankConfig(n_ngbr=solver.n_ngbr)

@@ -254,9 +254,14 @@ class FleetScheduler:
     ) -> float:
         """Mean ``metric`` over a point's first ``upto`` replicates.
 
-        Failed / timed-out / missing replicates score ``inf`` so broken
-        points are pruned first; lower is better for every halving
-        metric.
+        Failed / timed-out / missing / non-finite replicates score
+        ``inf`` so broken points are pruned first; lower is better for
+        every halving metric.  The non-finite guard matters for the
+        ranking itself: a ``NaN`` metric value passes the ``isinstance``
+        check but compares false against everything, so one bad record
+        would make ``sorted()``'s ordering arbitrary — a crashed grid
+        point could silently rank as the rung's best and prune every
+        healthy competitor.
         """
         values: list[float] = []
         for unit in units:
@@ -269,6 +274,8 @@ class FleetScheduler:
                 record is None
                 or record.get("status") != "ok"
                 or not isinstance(record.get(metric), (int, float))
+                or isinstance(record.get(metric), bool)
+                or not math.isfinite(record[metric])
             ):
                 return math.inf
             values.append(float(record[metric]))

@@ -218,10 +218,17 @@ def substrate_matrices(
     layer copies on ingest anyway).  Keyed by the full model parameter
     set plus the ordered region and site identities, so distinct latency
     seeds or site draws never share.
+
+    Eviction is LRU: a hit re-inserts its entry at the back of the
+    (insertion-ordered) dict, so eviction removes the least-recently
+    *used* substrate.  Without the promotion this degraded to FIFO, and
+    a sweep cycling through just over :data:`_SUBSTRATE_CACHE_LIMIT`
+    substrates would evict its hottest entry and rebuild every point.
     """
     key = model.cache_key(regions, sites)
-    cached = _SUBSTRATE_CACHE.get(key)
+    cached = _SUBSTRATE_CACHE.pop(key, None)
     if cached is not None:
+        _SUBSTRATE_CACHE[key] = cached
         _SUBSTRATE_STATS["hits"] += 1
         tele.count("substrate.cache_hits")
         return cached

@@ -1,0 +1,409 @@
+"""Equivalence suite: the struct-of-arrays kernel vs reference & batched.
+
+The arrays kernel (:mod:`repro.core.arrays`) earns its place the same
+way the batched one did — by being *provably interchangeable*: same
+candidate enumeration, same feasibility masks, bit-for-bit identical
+``phi`` values, identical solver trajectories given one rng, and
+byte-identical fleet results.  These tests enforce that contract over
+randomized conferences (capacity and noise on and off), full solver
+trajectories on compiled library scenarios, the greedy / annealing
+solvers, end-to-end ``results.jsonl`` output, and the split-flow
+fallback used when the latency matrix is not clean enough for the fused
+formula.  Trajectory assertions also require non-trivial acceptance
+counts, so an accidentally-empty candidate stream can never pass as
+"equivalent".
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.annealing import AnnealingConfig, simulated_annealing
+from repro.core.arrays import ConferenceArrays, PhiArray, arrays_for
+from repro.core.assignment import Assignment
+from repro.core.fastpath import profile_for
+from repro.core.greedy import greedy_descent
+from repro.core.markov import MarkovAssignmentSolver, MarkovConfig
+from repro.core.nearest import nearest_assignment
+from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.core.search import KERNELS, SearchContext
+from repro.errors import SpecError
+from repro.fleet.compile import compile_spec
+from repro.fleet.library import load_library_spec
+from repro.fleet.orchestrator import FleetOrchestrator, expand_matrix
+from repro.fleet.spec import (
+    RunSpec,
+    SimulationSpec,
+    SolverSpec,
+    TopologySpec,
+    WorkloadSpec,
+    spec_hash,
+)
+from repro.netsim.noise import GaussianNoise, QuantizedPerturbation
+from repro.workloads.prototype import prototype_conference
+from repro.workloads.scenarios import ScenarioParams, scenario_conference
+
+#: Randomized instances: unconstrained, capacity-tight, transcode-heavy.
+SCENARIO_GRID = [
+    (3, ScenarioParams(num_user_sites=32, num_users=12)),
+    (5, ScenarioParams(num_user_sites=64, num_users=30)),
+    (
+        7,
+        ScenarioParams(
+            num_user_sites=48,
+            num_users=24,
+            mean_bandwidth_mbps=250.0,
+            mean_transcode_slots=25.0,
+        ),
+    ),
+    (
+        11,
+        ScenarioParams(
+            num_user_sites=64,
+            num_users=20,
+            max_session_size=4,
+            session_locality=0.4,
+        ),
+    ),
+]
+
+
+def make_evaluator(conference, alphas=(1.0, 1.0, 1.0)):
+    a1, a2, a3 = alphas
+    return ObjectiveEvaluator(
+        conference,
+        ObjectiveWeights.normalized_for(
+            conference, alpha1=a1, alpha2=a2, alpha3=a3
+        ),
+    )
+
+
+def random_assignment(conference, rng):
+    """An arbitrary (not necessarily feasible) full assignment."""
+    return Assignment(
+        rng.integers(0, conference.num_agents, conference.num_users),
+        rng.integers(0, conference.num_agents, conference.theta_sum),
+    )
+
+
+def assert_evaluations_identical(reference, arrays, tag=""):
+    """Bit-for-bit equality of two :class:`BatchEvaluation` objects."""
+    for field in (
+        "inter_in",
+        "inter_out",
+        "download",
+        "upload",
+        "transcodes",
+        "delay_cost_ms",
+        "max_flow_ms",
+    ):
+        lhs, rhs = getattr(reference, field), getattr(arrays, field)
+        assert lhs.shape == rhs.shape, f"{tag}: {field} shape"
+        assert np.array_equal(lhs, rhs), f"{tag}: {field} values"
+    for field in ("kinds", "indices", "old_agents", "new_agents"):
+        assert np.array_equal(
+            getattr(reference.moves, field), getattr(arrays.moves, field)
+        ), f"{tag}: moves.{field}"
+
+
+class TestKernelEquivalence:
+    """The raw batch evaluation, on arbitrary assignments."""
+
+    @pytest.mark.parametrize("seed,params", SCENARIO_GRID)
+    def test_random_states_bitwise_equal(self, seed, params):
+        conference = scenario_conference(seed=seed, params=params)
+        profile = profile_for(conference)
+        arrays = arrays_for(profile)
+        rng = np.random.default_rng(71)
+        for trial in range(25):
+            assignment = random_assignment(conference, rng)
+            sid = int(rng.integers(conference.num_sessions))
+            assert_evaluations_identical(
+                profile.evaluate_candidates(assignment, sid),
+                arrays.evaluate_candidates(assignment, sid),
+                f"seed={seed} trial={trial} sid={sid}",
+            )
+
+    def test_split_flow_fallback_bitwise_equal(self):
+        """Force the split (non-fused) flow path and re-check equality.
+
+        The fused formula requires a clean latency matrix; layouts built
+        with ``flows_fused=False`` must produce the same bits through
+        the split direct/transcoded blocks and the runtime permutation.
+        """
+        conference = scenario_conference(
+            seed=7, params=ScenarioParams(num_user_sites=48, num_users=24)
+        )
+        profile = profile_for(conference)
+        fused = arrays_for(profile)
+        assert fused._flows_fused, "library matrices should be clean"
+        split = ConferenceArrays(profile)
+        split._flows_fused = False
+        rng = np.random.default_rng(5)
+        for trial in range(15):
+            assignment = random_assignment(conference, rng)
+            sid = int(rng.integers(conference.num_sessions))
+            assert_evaluations_identical(
+                fused.evaluate_candidates(assignment, sid),
+                split.evaluate_candidates(assignment, sid),
+                f"trial={trial} sid={sid}",
+            )
+
+    def test_arrays_instance_cached_on_profile(self):
+        profile = profile_for(prototype_conference())
+        assert arrays_for(profile) is arrays_for(profile)
+
+
+class TestCandidateEquivalence:
+    """SearchContext candidates across all three kernels."""
+
+    @pytest.mark.parametrize("seed,params", SCENARIO_GRID)
+    def test_candidates_bitwise_equal(self, seed, params):
+        conference = scenario_conference(seed=seed, params=params)
+        evaluator = make_evaluator(conference, alphas=(5.0, 1.0, 0.2))
+        assignment = nearest_assignment(conference)
+        contexts = {
+            kernel: SearchContext(evaluator, assignment, kernel=kernel)
+            for kernel in KERNELS
+        }
+        for sid in range(conference.num_sessions):
+            per_kernel = {
+                kernel: context.feasible_candidates(sid)
+                for kernel, context in contexts.items()
+            }
+            reference = per_kernel["reference"]
+            for kernel in ("batched", "arrays"):
+                candidates = per_kernel[kernel]
+                assert len(candidates) == len(reference), f"{kernel}/{sid}"
+                for ref, fast in zip(reference, candidates):
+                    assert ref.move == fast.move
+                    assert ref.phi == fast.phi
+                    assert ref.cost.delay_cost_ms == fast.cost.delay_cost_ms
+                    assert ref.cost.traffic_cost == fast.cost.traffic_cost
+                    assert (
+                        ref.cost.transcode_cost == fast.cost.transcode_cost
+                    )
+
+    @pytest.mark.parametrize(
+        "noise_factory",
+        [
+            lambda: GaussianNoise(sigma=0.05),
+            lambda: QuantizedPerturbation(delta=0.1, levels=3),
+        ],
+    )
+    def test_noise_consumes_rng_identically(self, noise_factory):
+        conference = scenario_conference(
+            seed=9, params=ScenarioParams(num_user_sites=32, num_users=14)
+        )
+        evaluator = make_evaluator(conference)
+        assignment = nearest_assignment(conference)
+        contexts = [
+            SearchContext(
+                evaluator,
+                assignment,
+                noise=noise_factory(),
+                rng=np.random.default_rng(21),
+                kernel=kernel,
+            )
+            for kernel in ("reference", "arrays")
+        ]
+        for sid in range(conference.num_sessions):
+            reference, arrays = (
+                context.feasible_candidates(sid) for context in contexts
+            )
+            assert [c.phi for c in reference] == [c.phi for c in arrays]
+
+
+class TestTrajectoryEquivalence:
+    """Full solver runs must be identical hop-for-hop, and non-trivial."""
+
+    @staticmethod
+    def _trace(solver, hops):
+        trace = []
+        solver.run(
+            hops,
+            on_hop=lambda r: trace.append(
+                (
+                    r.sid,
+                    r.moved,
+                    r.move,
+                    r.phi_before,
+                    r.phi_after,
+                    r.num_candidates,
+                )
+            ),
+        )
+        return trace
+
+    @pytest.mark.parametrize("hop_rule,beta", [("paper", 8.0), ("metropolis", 1.0)])
+    @pytest.mark.parametrize("sigma", [0.0, 0.4])
+    def test_markov_trajectories_identical(self, hop_rule, beta, sigma):
+        conference = scenario_conference(
+            seed=5,
+            params=ScenarioParams(
+                num_user_sites=24,
+                num_users=40,
+                mean_bandwidth_mbps=5000.0,
+                mean_transcode_slots=40.0,
+            ),
+        )
+        evaluator = make_evaluator(conference)
+        assignment = nearest_assignment(conference)
+        traces = []
+        for kernel in KERNELS:
+            solver = MarkovAssignmentSolver(
+                evaluator,
+                assignment,
+                config=MarkovConfig(beta=beta, hop_rule=hop_rule, kernel=kernel),
+                rng=np.random.default_rng(3),
+                noise=GaussianNoise(sigma) if sigma else None,
+            )
+            traces.append(self._trace(solver, 200))
+        accepted = sum(1 for hop in traces[0] if hop[1])
+        assert accepted > 3, f"trivial trajectory ({accepted}/200 accepted)"
+        assert traces[0] == traces[1] == traces[2]
+
+    @pytest.mark.parametrize("library_name", ["prototype_smoke", "beta_locality"])
+    def test_library_scenario_trajectories_identical(self, library_name):
+        compiled = compile_spec(
+            expand_matrix(load_library_spec(library_name))[0].spec
+        )
+        assignment = nearest_assignment(compiled.conference)
+        traces = []
+        for kernel in KERNELS:
+            solver = MarkovAssignmentSolver(
+                compiled.evaluator,
+                assignment,
+                config=MarkovConfig(
+                    beta=compiled.config.markov.beta, kernel=kernel
+                ),
+                rng=np.random.default_rng(97),
+            )
+            traces.append(self._trace(solver, 200))
+        assert sum(1 for hop in traces[0] if hop[1]) > 3
+        assert traces[0] == traces[1] == traces[2]
+
+    def test_greedy_and_annealing_identical(self):
+        conference = scenario_conference(
+            seed=5,
+            params=ScenarioParams(
+                num_user_sites=24,
+                num_users=40,
+                mean_bandwidth_mbps=5000.0,
+                mean_transcode_slots=40.0,
+            ),
+        )
+        evaluator = make_evaluator(conference)
+        greedy = [
+            greedy_descent(evaluator, nearest_assignment(conference), kernel=k)
+            for k in KERNELS
+        ]
+        assert greedy[0].iterations > 3
+        assert len({result.phi for result in greedy}) == 1
+        assert len({result.assignment.key() for result in greedy}) == 1
+        assert len({result.iterations for result in greedy}) == 1
+        annealed = [
+            simulated_annealing(
+                evaluator,
+                nearest_assignment(conference),
+                config=AnnealingConfig(hops=300),
+                rng=np.random.default_rng(2),
+                kernel=k,
+            )
+            for k in KERNELS
+        ]
+        assert annealed[0].accepted > 3
+        assert len({result.phi for result in annealed}) == 1
+        assert len({result.accepted for result in annealed}) == 1
+        assert len({result.assignment.key() for result in annealed}) == 1
+
+
+def _normalized_lines(path):
+    """results.jsonl lines minus the only nondeterministic field."""
+    lines = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        record = json.loads(line)
+        record.pop("wall_time_s", None)
+        lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+class TestFleetEquivalence:
+    """End-to-end: the kernel choice never changes fleet output."""
+
+    @staticmethod
+    def _spec(kernel):
+        return RunSpec(
+            name="kernel-equivalence",
+            workload=WorkloadSpec(kind="scenario", num_users=12),
+            topology=TopologySpec(num_user_sites=24, latency_seed=77),
+            solver=SolverSpec(kernel=kernel),
+            simulation=SimulationSpec(
+                duration_s=6.0, hop_interval_mean_s=3.0, seed=2
+            ),
+        )
+
+    def test_results_jsonl_byte_identical_across_kernels(self, tmp_path):
+        lines = {}
+        for kernel in KERNELS:
+            result = FleetOrchestrator(tmp_path / kernel, workers=1).run(
+                self._spec(kernel)
+            )
+            assert result.failed == 0
+            lines[kernel] = _normalized_lines(result.results_path)
+        assert lines["reference"] == lines["batched"] == lines["arrays"]
+
+    def test_kernel_excluded_from_spec_hash(self):
+        hashes = {spec_hash(self._spec(kernel)) for kernel in KERNELS}
+        assert len(hashes) == 1
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SpecError, match="solver.kernel"):
+            SolverSpec(kernel="vectorized")
+
+
+class TestPhiArray:
+    """The conference-level phi mirror under session dynamics."""
+
+    def test_total_matches_sequential_python_sum(self):
+        rng = np.random.default_rng(0)
+        phis = {sid: float(phi) for sid, phi in enumerate(rng.normal(size=40))}
+        mirror = PhiArray(phis)
+        assert mirror.total() == sum(phis.values())
+
+    def test_set_append_remove_track_dict_semantics(self):
+        phis = {0: 1.25, 1: 2.5, 2: -0.75}
+        mirror = PhiArray(dict(phis))
+        mirror.set(1, 9.0)
+        phis[1] = 9.0
+        assert mirror.total() == sum(phis.values())
+        mirror.append(7, 0.5)
+        phis[7] = 0.5
+        assert mirror.total() == sum(phis.values())
+        mirror.remove(0)
+        del phis[0]
+        assert mirror.total() == sum(phis.values())
+        mirror.append(0, 3.25)  # re-arrival lands at the *end*, like a dict
+        phis[0] = 3.25
+        assert mirror.total() == sum(phis.values())
+
+    def test_empty_total_is_int_zero_like_builtin_sum(self):
+        mirror = PhiArray({})
+        assert mirror.total() == 0
+        assert isinstance(mirror.total(), int)
+        mirror.append(4, 1.5)
+        mirror.remove(4)
+        assert mirror.total() == 0
+
+    def test_search_context_phi_matches_reference_sum(self):
+        conference = scenario_conference(
+            seed=3, params=ScenarioParams(num_user_sites=32, num_users=12)
+        )
+        evaluator = make_evaluator(conference)
+        assignment = nearest_assignment(conference)
+        reference = SearchContext(evaluator, assignment, kernel="reference")
+        arrays = SearchContext(evaluator, assignment, kernel="arrays")
+        assert reference.total_phi() == arrays.total_phi()

@@ -184,6 +184,64 @@ class TestProfilingSweepWalkthrough:
         assert "fleet.sweep" in span_names(telemetry.fleet)
 
 
+class TestScaleSweepWalkthrough:
+    """The EXPERIMENTS.md scale-sweep commands execute, and the claim
+    they make — per-scale records identical across kernels except for
+    the kernel axis, the unit id it is folded into, and wall time —
+    holds on the actual output."""
+
+    @pytest.fixture(scope="class")
+    def walkthrough(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        section = text.split("## Scale sweeps", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        commands = fenced_repro_commands(section)
+        assert len(commands) == 2, commands
+        return commands
+
+    def test_walkthrough_executes(self, walkthrough, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        for command in walkthrough:
+            argv = shlex.split(command)[1:]
+            assert main(argv) == 0, f"walkthrough command failed: {command}"
+        results = (tmp_path / "runs/scale/results.jsonl").read_text(
+            encoding="utf-8"
+        )
+        records = [json.loads(line) for line in results.splitlines()]
+        assert len(records) == 4  # 2 sizes x 2 kernels
+        assert all(record["status"] == "ok" for record in records)
+
+        def essence(record):
+            stripped = {
+                k: v
+                for k, v in record.items()
+                if k not in ("wall_time_s", "run_id", "axes")
+            }
+            stripped["axes"] = {
+                k: v
+                for k, v in record["axes"].items()
+                if k != "solver.kernel"
+            }
+            return stripped
+
+        by_scale_kernel = {
+            (
+                record["axes"]["workload.num_users"],
+                record["axes"]["solver.kernel"],
+            ): record
+            for record in records
+        }
+        for scale in (40, 80):
+            batched = by_scale_kernel[(scale, "batched")]
+            arrays = by_scale_kernel[(scale, "arrays")]
+            assert essence(batched) == essence(arrays)
+            # The kernel axis is folded into the unit id (distinct
+            # cache slots), even though it is outside run identity.
+            assert batched["run_id"] != arrays["run_id"]
+
+
 class TestComparingFleetsWalkthrough:
     """The EXPERIMENTS.md walkthrough commands actually execute."""
 

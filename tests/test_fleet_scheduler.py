@@ -319,6 +319,30 @@ class TestSchedulerMechanics:
         }
         assert scheduler._score([unit], 1, "phi", {}, outcome) == 2.5
 
+    def test_score_treats_non_finite_metric_as_worst(self):
+        """A NaN metric must rank a point *last*, never poison the sort.
+
+        NaN passes ``isinstance(..., float)`` but compares false against
+        everything, so before the finite guard one NaN record left the
+        halving ranking arbitrary — a crashed point could rank as best
+        and prune every healthy competitor.
+        """
+        scheduler = FleetScheduler()
+        from repro.fleet.scheduler import SchedulerOutcome
+
+        unit = expand_matrix(grid_spec())[0]
+        outcome = SchedulerOutcome()
+        for bad in (math.nan, math.inf, -math.inf, True):
+            outcome.fresh[unit.run_id] = {
+                "status": "ok",
+                "run_id": unit.run_id,
+                "phi": bad,
+            }
+            score = scheduler._score([unit], 1, "phi", {}, outcome)
+            assert score == math.inf, f"phi={bad!r} must score worst"
+        # The inf sentinel sorts deterministically behind healthy points.
+        assert sorted([math.inf, 2.5, 3.5]) == [2.5, 3.5, math.inf]
+
     def test_replicate_index_recorded_on_units(self):
         units = expand_matrix(grid_spec())
         assert [u.replicate for u in units[:4]] == [0, 1, 0, 1]

@@ -113,6 +113,34 @@ class TestSubstrateMemo:
         with pytest.raises(ValueError):
             agent_user[0, 0] = 1.0
 
+    def test_eviction_is_lru_not_fifo(self, synthesis_spy, monkeypatch):
+        """A hit must promote its entry: with the cache full, the *least
+        recently used* substrate is evicted, not the oldest-inserted one
+        (the FIFO regression rebuilt a sweep's hottest substrate on
+        every grid point once the working set exceeded the limit)."""
+        import repro.netsim.latency as latency_module
+
+        monkeypatch.setattr(latency_module, "_SUBSTRATE_CACHE_LIMIT", 2)
+        regions = [region("Virginia"), region("Tokyo")]
+        sites = sample_user_sites(4, np.random.default_rng(1))
+        model_a, model_b, model_c = (LatencyModel(seed=s) for s in (1, 2, 3))
+
+        first_a = substrate_matrices(model_a, regions, sites)
+        substrate_matrices(model_b, regions, sites)
+        # Touch A: under LRU the next eviction must take B.
+        substrate_matrices(model_a, regions, sites)
+        substrate_matrices(model_c, regions, sites)
+        assert synthesis_spy["inter_agent"] == 3
+
+        # A survived the eviction (FIFO would have dropped it) ...
+        again_a = substrate_matrices(model_a, regions, sites)
+        assert synthesis_spy["inter_agent"] == 3
+        assert again_a[0] is first_a[0]
+        # ... and B is the one that was evicted.
+        substrate_matrices(model_b, regions, sites)
+        assert synthesis_spy["inter_agent"] == 4
+        assert substrate_cache_stats()["entries"] == 2
+
     def test_clear_resets_counters(self):
         regions = [region("Virginia"), region("Tokyo")]
         sites = sample_user_sites(4, np.random.default_rng(1))
