@@ -1,0 +1,146 @@
+"""Bench: fault-injection overhead — event throughput and re-solve cost.
+
+Three targets: (1) substrate-view construction (:func:`apply_faults` is
+on the critical path of every fault boundary), (2) the full boundary
+re-solve — view + evaluator swap + solver rebuild — which must stay
+cheap enough to inject dense chaos, and (3) end-to-end simulator event
+throughput with chaos on vs off.  Each asserts a generous floor so a
+quadratic regression in the fault path fails loudly; the on/off pair
+also prints the relative overhead, the number the chaos sweeps of
+EXPERIMENTS.md budget against.
+"""
+
+from __future__ import annotations
+
+from repro.core.markov import MarkovAssignmentSolver, MarkovConfig
+from repro.core.nearest import nearest_assignment
+from repro.core.objective import ObjectiveEvaluator, ObjectiveWeights
+from repro.runtime.dynamics import DynamicsSchedule
+from repro.runtime.faults import Fault, FaultSchedule, apply_faults
+from repro.runtime.simulation import ConferencingSimulator, SimulationConfig
+from repro.workloads.prototype import prototype_conference
+
+#: Floor on substrate views built per second.
+MIN_VIEWS_PER_S = 200.0
+
+#: Floor on full fault-boundary re-solves per second (view + evaluator
+#: + solver rebuild over all active sessions).
+MIN_RESOLVES_PER_S = 50.0
+
+#: Floor on simulator events/sec with dense chaos active.
+MIN_EVENTS_PER_S = 200.0
+
+
+def _conference():
+    return prototype_conference(seed=7, num_sessions=6)
+
+
+def _evaluator(conference):
+    return ObjectiveEvaluator(
+        conference, ObjectiveWeights.normalized_for(conference)
+    )
+
+
+def _mixed_faults() -> list[Fault]:
+    return [
+        Fault(kind="outage", site=1, start_s=0.0, end_s=10.0),
+        Fault(kind="latency", site=0, start_s=0.0, end_s=10.0, severity=1.0),
+        Fault(kind="capacity", site=2, start_s=0.0, end_s=10.0, severity=0.5),
+    ]
+
+
+def test_apply_faults_views_per_sec(benchmark):
+    conference = _conference()
+    faults = _mixed_faults()
+
+    view = benchmark(lambda: apply_faults(conference, faults))
+
+    assert view is not conference
+    rate = 1.0 / benchmark.stats.stats.mean
+    print(f"\napply_faults: {rate:,.0f} views/s")
+    assert rate > MIN_VIEWS_PER_S
+
+
+def test_fault_boundary_resolve_per_sec(benchmark):
+    """One full boundary: substrate view, evaluator swap, solver rebuild."""
+    conference = _conference()
+    evaluator = _evaluator(conference)
+    sids = list(range(conference.num_sessions))
+    assignment = nearest_assignment(conference, sids)
+    faults = _mixed_faults()
+    import numpy as np
+
+    rng = np.random.default_rng(3)
+
+    def resolve():
+        view = apply_faults(conference, faults)
+        swapped = evaluator.with_conference(view)
+        return MarkovAssignmentSolver(
+            swapped,
+            assignment,
+            config=MarkovConfig(beta=32.0),
+            active_sids=sids,
+            rng=rng,
+        )
+
+    solver = benchmark(resolve)
+
+    assert solver.context.total_phi() > 0
+    rate = 1.0 / benchmark.stats.stats.mean
+    print(f"\nfault-boundary re-solve: {rate:,.0f} re-solves/s")
+    assert rate > MIN_RESOLVES_PER_S
+
+
+def _run(faults):
+    conference = _conference()
+    simulator = ConferencingSimulator(
+        _evaluator(conference),
+        DynamicsSchedule.static(range(conference.num_sessions)),
+        SimulationConfig(
+            duration_s=60.0,
+            sample_interval_s=1.0,
+            hop_interval_mean_s=2.0,
+            markov=MarkovConfig(beta=32.0),
+            seed=5,
+        ),
+        faults=faults,
+    )
+    return simulator.run()
+
+
+def _events(result, schedule) -> int:
+    # Samples + executed hops + fault boundary transitions: the event
+    # classes the queue actually dispatched.
+    samples = len(result.series("traffic")[0])
+    transitions = len(schedule.transitions()) if schedule is not None else 0
+    return samples + result.hops + transitions
+
+
+def test_sim_events_per_sec_chaos_on_vs_off(benchmark):
+    chaos = FaultSchedule.chaos(
+        num_sites=6,
+        duration_s=60.0,
+        rate_per_s=0.5,
+        mean_duration_s=5.0,
+        seed=9,
+    )
+    assert len(chaos) > 10  # dense enough to measure
+
+    import time
+
+    started = time.perf_counter()
+    baseline = _run(None)
+    baseline_s = time.perf_counter() - started
+    baseline_rate = _events(baseline, None) / baseline_s
+
+    result = benchmark(lambda: _run(chaos))
+
+    chaos_rate = _events(result, chaos) / benchmark.stats.stats.mean
+    overhead = benchmark.stats.stats.mean / baseline_s
+    print(
+        f"\nsim events/s: chaos off {baseline_rate:,.0f}, "
+        f"on {chaos_rate:,.0f} ({overhead:.2f}x wall time, "
+        f"{result.faults_injected} faults)"
+    )
+    assert result.faults_injected > 0
+    assert chaos_rate > MIN_EVENTS_PER_S

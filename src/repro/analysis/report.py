@@ -43,14 +43,21 @@ from repro.errors import SpecError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.fleet.spec import RunSpec
 
-#: Version stamped into every record this tree writes.  Version 2 adds
+#: Newest record format this reader understands.  Version 2 adds
 #: the ``"timeout"`` / ``"pruned"`` statuses and the optional ``rung`` /
 #: ``attempts`` envelope fields (execution backends + budgets).
 #: Version 3 adds the optional ``timings`` / ``counters`` telemetry
 #: envelope blocks (present only when the unit ran with telemetry
 #: enabled; both are volatile — see :data:`VOLATILE_RECORD_FIELDS`).
-#: Every version-1/2 record is also a valid version-3 record.
-SCHEMA_VERSION = 3
+#: Version 4 adds the optional resilience metric fields written by
+#: fault-injected runs (:data:`RESILIENCE_METRICS`).  Every version-1/2/3
+#: record is also a valid version-4 record.
+#:
+#: Writers stamp the *lowest* version that describes a record (see
+#: :func:`record_schema_version`), so a run without a ``faults:``
+#: section serializes bit-identically to output written before the
+#: fault layer existed.
+SCHEMA_VERSION = 4
 
 #: Statuses a record may carry: executed fine, executed-and-failed,
 #: killed by the per-unit wall-time budget, or abandoned by
@@ -89,7 +96,22 @@ FLEET_METRIC_FIELDS: dict[str, tuple[tuple[type, ...], str]] = {
     "freezes": ((int,), "FREEZE/UNFREEZE handshakes"),
     "overhead_kb": ((float, int), "cumulative dual-feed migration overhead"),
     "series": ((dict,), 'downsampled {"t": [...], "v": [...]} convergence series'),
+    "faults_injected": ((int,), "fault windows that started (chaos runs)"),
+    "fault_migrations": ((int,), "sessions re-placed off faulted sites"),
+    "sessions_dropped": ((int,), "stranded sessions with no feasible re-placement"),
+    "sla_violation_s": ((float, int), "sampled seconds with a session over Dmax"),
+    "recovery_mean_s": ((float, int), "mean fault-start-to-clean-sample time"),
 }
+
+#: The schema-version-4 resilience payload: present only on records of
+#: fault-injected runs (a spec with a non-default ``faults:`` section).
+RESILIENCE_METRICS: tuple[str, ...] = (
+    "faults_injected",
+    "fault_migrations",
+    "sessions_dropped",
+    "sla_violation_s",
+    "recovery_mean_s",
+)
 
 #: Metrics compared across fleets (``hops_per_sec`` is derived at load).
 REPORT_METRICS: tuple[str, ...] = (
@@ -120,6 +142,19 @@ _DIFF_IGNORED = ("description",)
 # --------------------------------------------------------------------- #
 # Schema: upgrade, validation, record construction                      #
 # --------------------------------------------------------------------- #
+
+
+def record_schema_version(record: Mapping) -> int:
+    """The lowest schema version that describes ``record``.
+
+    Only the resilience payload needs version 4; everything else —
+    including error records and no-fault fleet metrics — is expressible
+    at version 3.  Writers stamp this value so enabling the fault layer
+    never perturbs the bytes of runs that do not use it.
+    """
+    if any(name in record for name in RESILIENCE_METRICS):
+        return 4
+    return 3
 
 
 def upgrade_record(record: object, source: str = "record") -> dict:
@@ -784,6 +819,15 @@ def render_run_report(run: FleetRun) -> str:
             run.records, title=f"fleet {run.label!r} summary"
         ),
     ]
+    if any("faults_injected" in record for record in run.ok_records):
+        lines += [
+            "",
+            aggregate_records(
+                run.records,
+                metrics=RESILIENCE_METRICS,
+                title=f"fleet {run.label!r} resilience summary",
+            ),
+        ]
     return "\n".join(lines)
 
 

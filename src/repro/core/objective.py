@@ -187,6 +187,17 @@ class ObjectiveEvaluator:
         """A new evaluator sharing costs but with different weights."""
         return ObjectiveEvaluator(self._conference, weights, self._g, self._h)
 
+    def with_conference(self, conference: Conference) -> "ObjectiveEvaluator":
+        """A new evaluator over a same-shape substrate view.
+
+        Keeps the weights *and* the per-agent cost vectors — a fault-
+        injected view must not renormalize the objective mid-run, or the
+        phi series would jump for reasons unrelated to the fault.  The
+        view must have the same number of agents (the cost vectors are
+        revalidated against it).
+        """
+        return ObjectiveEvaluator(conference, self._weights, self._g, self._h)
+
     # ------------------------------------------------------------------ #
     # Evaluation                                                         #
     # ------------------------------------------------------------------ #

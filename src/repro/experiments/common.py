@@ -116,10 +116,12 @@ def result_record(
     :mod:`repro.analysis.report` and are documented in DESIGN.md
     "Result records".
     """
-    from repro.analysis.report import ENVELOPE_FIELDS, SCHEMA_VERSION
+    from repro.analysis.report import ENVELOPE_FIELDS, record_schema_version
 
     record: dict = {
-        "schema_version": SCHEMA_VERSION,
+        # Experiment metrics never include the resilience payload, so
+        # they stamp the minimal (pre-fault-layer) schema version.
+        "schema_version": record_schema_version({}),
         "name": str(name),
         "status": "ok",
     }

@@ -29,7 +29,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import ClassVar, Iterator, Sequence
 
-from repro.analysis.report import SCHEMA_VERSION
+from repro.analysis.report import record_schema_version
 from repro.errors import SpecError
 from repro.fleet.compile import execute_payload
 
@@ -87,7 +87,7 @@ def timeout_record(
 ) -> dict:
     """The first-class record of a unit killed by its wall-time budget."""
     return {
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": record_schema_version({}),
         "name": payload.name,
         "status": "timeout",
         "error": (
@@ -106,7 +106,7 @@ def crash_record(
 ) -> dict:
     """The (scheduler-internal) record of a worker that died mid-unit."""
     return {
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": record_schema_version({}),
         "name": payload.name,
         "status": "crashed",
         "error": f"WorkerCrash: {detail}",

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import repro.telemetry as tele
-from repro.analysis.report import SCHEMA_VERSION
+from repro.analysis.report import record_schema_version
 from repro.analysis.series import downsample_series
 from repro.core.agrank import AgRankConfig
 from repro.core.markov import MarkovConfig
@@ -39,6 +39,11 @@ from repro.model.representation import PAPER_LADDER
 from repro.netsim.latency import substrate_cache_stats
 from repro.netsim.noise import GaussianNoise, NoiseModel, QuantizedPerturbation
 from repro.runtime.dynamics import DynamicsSchedule
+from repro.runtime.faults import (
+    Fault,
+    FaultSchedule,
+    all_sites_outaged_window,
+)
 from repro.runtime.simulation import (
     ConferencingSimulator,
     SimulationConfig,
@@ -60,11 +65,17 @@ class CompiledRun:
     schedule: DynamicsSchedule
     config: SimulationConfig
     noise: NoiseModel | None
+    #: Resolved fault schedule; None when the spec injects no faults.
+    faults: FaultSchedule | None = None
 
     def simulator(self) -> ConferencingSimulator:
         """A fresh simulator bound to this run's compiled objects."""
         return ConferencingSimulator(
-            self.evaluator, self.schedule, self.config, noise=self.noise
+            self.evaluator,
+            self.schedule,
+            self.config,
+            noise=self.noise,
+            faults=self.faults,
         )
 
 
@@ -176,6 +187,59 @@ def _schedule(spec: RunSpec, num_sessions: int) -> DynamicsSchedule:
         ) from error
 
 
+def _fault_schedule(spec: RunSpec, num_agents: int) -> FaultSchedule | None:
+    """Resolve the spec's ``faults:`` section into a runtime schedule.
+
+    Explicit windows are validated against the compiled conference's
+    agent count (the spec alone cannot know it) and against the
+    all-sites-dead degeneracy: overlapping outages that leave no live
+    site raise a :class:`~repro.errors.SpecError` naming the offending
+    window.  Chaos seeds resolve like trace seeds: ``-1`` follows
+    ``simulation.seed``.
+    """
+    section = spec.faults
+    if not section.enabled:
+        return None
+    if section.windows:
+        faults = []
+        for index, window in enumerate(section.windows):
+            if window.site >= num_agents:
+                raise SpecError(
+                    f"spec {spec.name!r}: faults.windows[{index}] names "
+                    f"site {window.site}, but the compiled conference "
+                    f"has {num_agents} agents (sites 0..{num_agents - 1})"
+                )
+            faults.append(
+                Fault(
+                    kind=window.kind,
+                    site=window.site,
+                    start_s=window.start_s,
+                    end_s=window.end_s,
+                    severity=window.severity,
+                )
+            )
+        dead_window = all_sites_outaged_window(faults, num_agents)
+        if dead_window is not None:
+            raise SpecError(
+                f"spec {spec.name!r}: faults.windows outages overlap to "
+                f"kill every site during "
+                f"[{dead_window[0]:g}, {dead_window[1]:g}] s — no feasible "
+                "placement would remain; shorten or stagger the windows"
+            )
+        return FaultSchedule(faults=tuple(faults), policy=section.policy)
+    chaos = section.chaos
+    return FaultSchedule.chaos(
+        num_sites=num_agents,
+        duration_s=spec.simulation.duration_s,
+        rate_per_s=chaos.rate_per_s,
+        mean_duration_s=chaos.mean_duration_s,
+        severity=chaos.severity,
+        kinds=chaos.kinds,
+        policy=section.policy,
+        seed=chaos.seed if chaos.seed >= 0 else spec.simulation.seed,
+    )
+
+
 def substrate_cache_info() -> dict:
     """Hit/build counters of the shared latency-substrate cache.
 
@@ -228,6 +292,7 @@ def compile_spec(spec: RunSpec) -> CompiledRun:
         schedule=schedule,
         config=config,
         noise=_noise_model(spec),
+        faults=_fault_schedule(spec, conference.num_agents),
     )
 
 
@@ -311,8 +376,10 @@ def execute_payload(
             record = execute_spec(RunSpec.from_dict(spec_dict))
         record["status"] = "ok"
     except Exception as error:  # noqa: BLE001 - one bad unit must not sink the fleet
+        # An error record carries no resilience fields, so it stamps the
+        # base schema version — byte-identical to pre-fault-layer output.
         record = {
-            "schema_version": SCHEMA_VERSION,
+            "schema_version": record_schema_version({}),
             "name": str(spec_dict.get("name", "")),
             "status": "error",
             "error": f"{type(error).__name__}: {error}",
@@ -341,7 +408,7 @@ def run_record(compiled: CompiledRun) -> dict:
         simulation: SimulationResult = compiled.simulator().run()
     conference = compiled.conference
     record: dict = {
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": 0,  # placeholder; re-stamped once the shape is known
         "name": spec.name,
         "seed": spec.simulation.seed,
         "num_agents": conference.num_agents,
@@ -363,6 +430,21 @@ def run_record(compiled: CompiledRun) -> dict:
             for name in RECORD_SERIES
         },
     }
+    if compiled.faults is not None:
+        # Resilience metrics only exist for fault-injected runs: a
+        # no-fault record keeps its pre-chaos-layer shape (and bytes).
+        recovery = simulation.recovery_times
+        record["faults_injected"] = simulation.faults_injected
+        record["fault_migrations"] = simulation.fault_migrations
+        record["sessions_dropped"] = simulation.sessions_dropped
+        record["sla_violation_s"] = simulation.sla_violation_s
+        record["recovery_mean_s"] = (
+            sum(recovery) / len(recovery) if recovery else 0.0
+        )
+    # Records stamp the *lowest* schema version that describes them, so
+    # runs without a faults section serialize bit-identically to output
+    # written before the fault layer existed.
+    record["schema_version"] = record_schema_version(record)
     return {
         key: (float(value) if isinstance(value, float) else value)
         for key, value in record.items()

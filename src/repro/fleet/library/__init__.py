@@ -17,7 +17,13 @@
 * ``bursty_mmpp`` — two-state MMPP arrival bursts with lognormal
   holding times, swept over burst dwell;
 * ``diurnal_cycle`` — a compressed day cycle (sinusoidally modulated
-  arrival rate) on a capacity-constrained Internet-scale draw.
+  arrival rate) on a capacity-constrained Internet-scale draw;
+* ``site_outage`` — two staggered explicit outage windows under the
+  migrate recovery policy, the canonical resilience golden;
+* ``chaos_storm`` — seeded random faults (all kinds) swept over the
+  chaos arrival rate, seed-replicated;
+* ``latency_storm`` — latency-only chaos swept over spike severity,
+  recovery left entirely to the hop chain (policy ``none``).
 """
 
 from __future__ import annotations

@@ -66,6 +66,12 @@ def unit_run_id(resolved: RunSpec, axes: dict[str, object]) -> str:
     sweep that *compares* backends, budgets or kernels still needs one
     cache slot per axis value, or every grid point would collapse onto
     one record.
+
+    ``faults.*`` needs no such folding: a non-default ``faults:``
+    section changes computation identity, so :func:`~repro.fleet.spec.
+    spec_hash` already folds it in (only the all-default section is
+    excluded, keeping no-fault ids byte-stable across the fault layer's
+    introduction).
     """
     run_id = spec_hash(resolved)
     exec_axes = {

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
 import repro.telemetry as tele
-from repro.analysis.report import SCHEMA_VERSION
+from repro.analysis.report import record_schema_version
 from repro.fleet.backends import ExecutionBackend, RunPayload, create_backend
 from repro.fleet.matrix import RunUnit
 from repro.fleet.spec import ExecutionSpec
@@ -67,7 +67,7 @@ def substrate_affinity(unit: RunUnit) -> tuple:
 def pruned_record(unit: RunUnit, rung: int) -> dict:
     """The first-class record of a replicate abandoned by halving."""
     return {
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": record_schema_version({}),
         "name": unit.spec.name,
         "status": "pruned",
         "run_id": unit.run_id,

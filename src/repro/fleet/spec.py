@@ -36,6 +36,7 @@ import yaml
 from repro.core.search import KERNELS as SOLVER_KERNELS
 from repro.errors import SpecError
 from repro.netsim.sites import known_region_names, known_site_names, region
+from repro.runtime.faults import FAULT_KINDS, FAULT_POLICIES
 from repro.runtime.traces import HOLDING_KINDS, PROCESS_KINDS, SessionProcess
 
 WORKLOAD_KINDS: tuple[str, ...] = ("prototype", "scenario")
@@ -69,6 +70,7 @@ SWEEPABLE_SECTIONS: tuple[str, ...] = (
     "solver",
     "noise",
     "churn",
+    "faults",
     "simulation",
     "execution",
 )
@@ -551,6 +553,148 @@ class ChurnSpec:
 
 
 @dataclass(frozen=True)
+class FaultWindow:
+    """One explicit fault window: a kind, a site, ``[start_s, end_s)``.
+
+    ``severity`` is the capacity fraction lost (``capacity``) or the
+    relative delay inflation (``latency``); outages ignore it.  The
+    site index is validated against the compiled conference's agent
+    count at compile time (the spec alone does not know it).
+    """
+
+    kind: str
+    site: int
+    start_s: float
+    end_s: float
+    severity: float = 0.5
+
+    def __post_init__(self) -> None:
+        _coerce_declared_scalars(self)
+        if self.kind not in FAULT_KINDS:
+            raise SpecError(
+                f"faults.windows kind {self.kind!r} is unknown; "
+                f"choose from {FAULT_KINDS}"
+            )
+        if self.site < 0:
+            raise SpecError(
+                f"faults.windows site must be >= 0, got {self.site}"
+            )
+        if self.start_s < 0:
+            raise SpecError(
+                f"faults.windows start_s must be >= 0, got {self.start_s}"
+            )
+        if self.end_s <= self.start_s:
+            raise SpecError(
+                f"faults.windows needs end_s > start_s, got "
+                f"[{self.start_s}, {self.end_s}]"
+            )
+        if self.kind == "capacity" and not 0.0 < self.severity <= 1.0:
+            raise SpecError(
+                f"faults.windows capacity severity must be in (0, 1], "
+                f"got {self.severity}"
+            )
+        if self.kind == "latency" and self.severity <= 0.0:
+            raise SpecError(
+                f"faults.windows latency severity must be > 0, "
+                f"got {self.severity}"
+            )
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Seeded random fault generation (sweepable chaos axes).
+
+    ``rate_per_s: 0`` (the default) disables the generator.  ``seed:
+    -1`` derives the fault stream from ``simulation.seed`` (replicates
+    draw distinct chaos); pinning ``seed >= 0`` holds the fault
+    schedule fixed while other knobs sweep.  The draws come from a
+    dedicated rng stream, so chaos never perturbs wake or trace draws.
+    """
+
+    rate_per_s: float = 0.0
+    mean_duration_s: float = 20.0
+    severity: float = 0.5
+    kinds: tuple[str, ...] = FAULT_KINDS
+    seed: int = -1
+
+    def __post_init__(self) -> None:
+        _coerce_declared_scalars(self)
+        if self.rate_per_s < 0:
+            raise SpecError(
+                f"faults.chaos.rate_per_s must be >= 0, got {self.rate_per_s}"
+            )
+        if self.mean_duration_s <= 0:
+            raise SpecError(
+                f"faults.chaos.mean_duration_s must be positive, "
+                f"got {self.mean_duration_s}"
+            )
+        if self.severity <= 0.0:
+            raise SpecError(
+                f"faults.chaos.severity must be > 0, got {self.severity}"
+            )
+        if not self.kinds:
+            raise SpecError("faults.chaos.kinds needs at least one kind")
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise SpecError(
+                    f"faults.chaos.kinds {kind!r} is unknown; "
+                    f"choose from {FAULT_KINDS}"
+                )
+        # Severity > 1 only makes sense for latency inflation; a
+        # capacity fault cannot lose more than everything.
+        if self.severity > 1.0 and "capacity" in self.kinds:
+            raise SpecError(
+                f"faults.chaos.severity {self.severity} exceeds 1, which "
+                'only latency faults support; drop "capacity" from '
+                "faults.chaos.kinds or lower the severity"
+            )
+        if len(set(self.kinds)) != len(self.kinds):
+            raise SpecError(
+                f"faults.chaos.kinds repeats a kind: {list(self.kinds)}"
+            )
+        if self.seed < -1:
+            raise SpecError(
+                f"faults.chaos.seed must be >= -1 (-1 follows "
+                f"simulation.seed), got {self.seed}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultsSpec:
+    """Infrastructure faults: explicit windows or a chaos generator.
+
+    The two sources are mutually exclusive; a spec with neither (the
+    default) injects nothing and compiles byte-identically to a spec
+    with no ``faults:`` section at all — the default section is
+    excluded from :func:`spec_hash`, so adding an empty section never
+    moves a run id or a cached result.
+    """
+
+    #: Recovery policy for sessions stranded on an outaged site.
+    policy: str = "migrate"
+    windows: tuple[FaultWindow, ...] = ()
+    chaos: ChaosSpec = field(default_factory=ChaosSpec)
+
+    def __post_init__(self) -> None:
+        _coerce_declared_scalars(self)
+        if self.policy not in FAULT_POLICIES:
+            raise SpecError(
+                f"faults.policy {self.policy!r} is unknown; "
+                f"choose from {FAULT_POLICIES}"
+            )
+        if self.windows and self.chaos.rate_per_s > 0:
+            raise SpecError(
+                "faults.windows and faults.chaos are mutually exclusive: "
+                "a run's faults come from one source"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this section injects any faults at all."""
+        return bool(self.windows) or self.chaos.rate_per_s > 0
+
+
+@dataclass(frozen=True)
 class SimulationSpec:
     """Wall-clock controls of the discrete-event runtime."""
 
@@ -737,6 +881,7 @@ class RunSpec:
     solver: SolverSpec = field(default_factory=SolverSpec)
     noise: NoiseSpec = field(default_factory=NoiseSpec)
     churn: ChurnSpec = field(default_factory=ChurnSpec)
+    faults: FaultsSpec = field(default_factory=FaultsSpec)
     simulation: SimulationSpec = field(default_factory=SimulationSpec)
     sweep: SweepSpec = field(default_factory=SweepSpec)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
@@ -926,10 +1071,16 @@ def spec_hash(spec: RunSpec) -> str:
     of re-solving identical units.  ``solver.kernel`` is excluded for
     the same reason: every kernel produces bit-identical trajectories
     (pinned by the core equivalence suites), so the choice never changes
-    what a run computes.
+    what a run computes.  A *default* (fault-free) ``faults`` section is
+    dropped before hashing, so declaring the empty section is identical
+    to omitting it — pre-fault run ids and cached results stay valid;
+    any non-default faults content (windows, chaos knobs, policy) folds
+    into the hash and therefore into every unit's run id.
     """
     data = spec.to_dict()
     data.pop("execution", None)
     data.get("solver", {}).pop("kernel", None)
+    if data.get("faults") == _plain(FaultsSpec()):
+        data.pop("faults", None)
     canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]

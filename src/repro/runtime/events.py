@@ -71,8 +71,10 @@ class EventQueue:
         Ties at one timestamp pop in ``(priority, insertion order)``:
         lower-priority-number events first, so a caller can guarantee an
         ordering between event classes independent of when each was
-        scheduled (the simulator runs session dynamics before samples
-        and wakes at a shared instant).
+        scheduled.  The simulator pins fault transitions (priority -1)
+        before session dynamics (0) before samples and wakes (1) at a
+        shared instant — an arrival coinciding with an outage bootstraps
+        against the already-masked substrate view.
         """
         if time_s < self._now - 1e-12:
             raise SimulationError(

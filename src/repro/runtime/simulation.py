@@ -14,7 +14,11 @@ Binds Alg. 1's jump chain to wall-clock time:
   series plotted in Figs. 4-7;
 * session arrivals bootstrap a new session against residual capacities and
   join the hop loop; departures release capacity (Fig. 5); resizes
-  re-admit a live session against the current residuals.
+  re-admit a live session against the current residuals;
+* infrastructure faults (:mod:`repro.runtime.faults`) swap the solver
+  onto a substrate view at each window boundary, recover stranded
+  sessions per the schedule's policy, and feed the resilience metrics
+  (recovery time, migration churn, SLA-violation seconds).
 
 Session dynamics stream in open-loop: the simulator consumes a
 :class:`~repro.runtime.traces.TracePlayer` one timestamp batch at a
@@ -38,7 +42,7 @@ from repro.core.delay import average_conferencing_delay, session_user_delays
 from repro.core.markov import MarkovAssignmentSolver, MarkovConfig
 from repro.core.nearest import nearest_assignment
 from repro.core.objective import ObjectiveEvaluator
-from repro.errors import SimulationError
+from repro.errors import InfeasibleError, SimulationError
 from repro.model.conference import Conference
 from repro.netsim.noise import NoiseModel
 from repro.runtime.dynamics import (
@@ -47,6 +51,13 @@ from repro.runtime.dynamics import (
     SessionResize,
 )
 from repro.runtime.events import EventHandle, EventQueue
+from repro.runtime.faults import (
+    Fault,
+    FaultSchedule,
+    apply_faults,
+    outaged_sites,
+    stranded_sessions,
+)
 from repro.runtime.metrics import TimeSeriesRecorder
 from repro.runtime.migration import MigrationModel, MigrationRecord
 from repro.runtime.traces import TracePlayer
@@ -96,6 +107,20 @@ class SimulationResult:
     resizes: int = 0
     #: Dynamics events streamed from the trace player (open-loop feed).
     trace_events: int = 0
+    #: Fault windows that actually started during the run.
+    faults_injected: int = 0
+    #: Stranded sessions re-placed by the ``migrate`` fault policy.
+    fault_migrations: int = 0
+    #: Stranded sessions removed by the ``drop`` policy (or migrate
+    #: fallback when no feasible placement remained).
+    sessions_dropped: int = 0
+    #: Seconds (of sample grid) during which any active session's worst
+    #: flow exceeded the delay cap.
+    sla_violation_s: float = 0.0
+    #: Per-fault recovery time: first violation-free sample after each
+    #: fault's start, minus the start (faults unrecovered at the end of
+    #: the horizon are not counted).
+    recovery_times: tuple[float, ...] = ()
 
     def series(self, name: str) -> tuple[np.ndarray, np.ndarray]:
         """``(times, values)`` of a recorded series (e.g. ``"traffic"``)."""
@@ -131,6 +156,7 @@ class ConferencingSimulator:
         noise: NoiseModel | None = None,
         migration_model: MigrationModel | None = None,
         initial_assignment: Assignment | None = None,
+        faults: FaultSchedule | None = None,
     ):
         self._evaluator = evaluator
         self._conference: Conference = evaluator.conference
@@ -155,6 +181,22 @@ class ConferencingSimulator:
         self._resizes = 0
         self._pending_trace = 0
         self._solver: MarkovAssignmentSolver | None = None
+
+        # Fault-injection state: the pristine evaluator/conference are
+        # kept so every substrate view derives from unfaulted matrices
+        # (never view-of-view), and hop counters are carried across the
+        # solver swap a fault transition performs.
+        self._faults = faults
+        self._pristine_evaluator = evaluator
+        self._pristine_conference = self._conference
+        self._active_faults: list[Fault] = []
+        self._carried_hops = 0
+        self._faults_injected = 0
+        self._fault_migrations = 0
+        self._sessions_dropped = 0
+        self._sla_violation_s = 0.0
+        self._recovery_times: list[float] = []
+        self._pending_recovery: list[tuple[Fault, float]] = []
 
     # ------------------------------------------------------------------ #
     # Bootstrap                                                          #
@@ -252,6 +294,8 @@ class ConferencingSimulator:
                     self._recorder.record(
                         f"s{sid}/delay", now, float(np.mean(list(per_user.values())))
                     )
+        if self._faults is not None:
+            self._sample_resilience(active, now)
         tele.count("sim.samples")
         next_sample = now + self._config.sample_interval_s
         if next_sample <= self._config.duration_s + 1e-9:
@@ -286,6 +330,124 @@ class ConferencingSimulator:
             self._solver.context.add_session(sid, self._bootstrap_arrival(sid))
             self._resizes += 1
         self._trace_event_done()
+
+    # ------------------------------------------------------------------ #
+    # Fault injection                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _on_fault(self, payload: tuple[str, Fault], now: float) -> None:
+        """Apply one fault boundary: update the active set, rebuild the
+        solver against the new substrate view, run the recovery policy."""
+        phase, fault = payload
+        if phase == "start":
+            self._active_faults.append(fault)
+            self._faults_injected += 1
+            self._pending_recovery.append((fault, now))
+            tele.count("sim.faults")
+        else:
+            self._active_faults.remove(fault)
+        self._rebuild_solver()
+        self._apply_fault_policy(now)
+
+    def _rebuild_solver(self) -> None:
+        """Swap the solver onto the current substrate view.
+
+        The view evaluator keeps the pristine objective weights and
+        per-agent costs (no renormalization mid-run — the objective's
+        scales are part of the experiment, not of the substrate), the
+        assignment and active set carry over unchanged, and the solver
+        reuses the simulator's rng object so the wake/hop draw sequence
+        is untouched.  Hop counters are accumulated across the swap.
+        """
+        assert self._solver is not None
+        if self._active_faults:
+            view = apply_faults(self._pristine_conference, self._active_faults)
+            evaluator = self._pristine_evaluator.with_conference(view)
+        else:
+            view = self._pristine_conference
+            evaluator = self._pristine_evaluator
+        self._carried_hops += self._solver.hops
+        active = self._solver.context.active_sessions
+        assignment = self._solver.assignment
+        self._conference = view
+        self._evaluator = evaluator
+        self._solver = MarkovAssignmentSolver(
+            evaluator,
+            assignment,
+            config=self._config.markov,
+            active_sids=active,
+            noise=self._noise,
+            rng=self._rng,
+        )
+
+    def _apply_fault_policy(self, now: float) -> None:
+        """Recover sessions stranded on outaged sites per the policy."""
+        assert self._faults is not None and self._solver is not None
+        dead = outaged_sites(self._active_faults)
+        if not dead or self._faults.policy == "none":
+            return
+        stranded = stranded_sessions(
+            self._conference,
+            self._solver.assignment,
+            self._solver.context.active_sessions,
+            dead,
+        )
+        for sid in stranded:
+            self._solver.context.remove_session(sid)
+            if self._faults.policy == "migrate":
+                try:
+                    assignment = self._bootstrap_arrival(sid)
+                except InfeasibleError:
+                    self._drop_session(sid)
+                    continue
+                self._solver.context.add_session(sid, assignment)
+                self._fault_migrations += 1
+                tele.count("sim.fault_migrations")
+            else:  # "drop"
+                self._drop_session(sid)
+
+    def _drop_session(self, sid: int) -> None:
+        entry = self._wake_handles.pop(sid, None)
+        if entry is not None:
+            entry[0].cancel()
+        self._sessions_dropped += 1
+        tele.count("sim.sessions_dropped")
+
+    def _sample_resilience(self, active: list[int], now: float) -> None:
+        """Per-sample SLA/recovery bookkeeping (fault runs only).
+
+        A sample is *violating* when any active session's worst flow
+        exceeds the delay cap on the current substrate view; violating
+        samples accumulate SLA-violation seconds, and the first clean
+        sample after a fault's start resolves that fault's recovery
+        time.  The ``stranded`` series counts sessions still touching a
+        dead site (zero at every sample under the ``migrate`` policy —
+        the property suite pins exactly that).
+        """
+        assert self._solver is not None
+        assignment = self._solver.assignment
+        profile = self._evaluator.profile
+        violating = False
+        for sid in active:
+            _cost, max_flow = profile.session_delays(
+                assignment.user_agent, assignment.task_agent, sid
+            )
+            if max_flow > self._conference.dmax_ms + 1e-9:
+                violating = True
+                break
+        if violating:
+            self._sla_violation_s += self._config.sample_interval_s
+        elif self._pending_recovery:
+            for _fault, started in self._pending_recovery:
+                self._recovery_times.append(now - started)
+            self._pending_recovery.clear()
+        dead = outaged_sites(self._active_faults)
+        stranded = (
+            len(stranded_sessions(self._conference, assignment, active, dead))
+            if dead
+            else 0
+        )
+        self._recorder.record("stranded", now, float(stranded))
 
     # ------------------------------------------------------------------ #
     # Open-loop trace feed                                               #
@@ -332,6 +494,15 @@ class ConferencingSimulator:
         for sid in self._player.initial_sids:
             self._schedule_wake(sid, 0.0)
         self._pump_trace()
+        if self._faults is not None:
+            # Priority -1: at a shared instant faults apply before the
+            # dynamics (0) and samples/wakes (1) they influence.
+            for time_s, phase, fault in self._faults.transitions():
+                if time_s > self._config.duration_s + 1e-9:
+                    continue
+                self._queue.schedule(
+                    time_s, "fault", (phase, fault), priority=-1
+                )
         self._queue.schedule(0.0, "sample", priority=1)
 
         while True:
@@ -351,16 +522,23 @@ class ConferencingSimulator:
                 self._on_departure(handle.payload, now)
             elif handle.kind == "resize":
                 self._on_resize(handle.payload, now)
+            elif handle.kind == "fault":
+                self._on_fault(handle.payload, now)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {handle.kind!r}")
 
         return SimulationResult(
             recorder=self._recorder,
             migrations=self._migrations,
-            hops=self._solver.hops,
+            hops=self._carried_hops + self._solver.hops,
             freezes=self._freezes,
             final_assignment=self._solver.assignment,
             config=self._config,
             resizes=self._resizes,
             trace_events=self._player.events_streamed,
+            faults_injected=self._faults_injected,
+            fault_migrations=self._fault_migrations,
+            sessions_dropped=self._sessions_dropped,
+            sla_violation_s=self._sla_violation_s,
+            recovery_times=tuple(self._recovery_times),
         )

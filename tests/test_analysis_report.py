@@ -20,6 +20,7 @@ from repro.analysis.report import (
     load_fleet_runs,
     load_result_records,
     metric_stats,
+    record_schema_version,
     render_comparison,
     render_run_report,
     spec_diff,
@@ -396,7 +397,7 @@ class TestSchemaDocRoundTrip:
         for record in run_fig2().result_records():
             validate_record(record)
             json.dumps(record, allow_nan=False)
-            assert record["schema_version"] == SCHEMA_VERSION
+            assert record["schema_version"] == record_schema_version(record)
 
 
 def _check_records(records, expected_axes):
@@ -405,7 +406,7 @@ def _check_records(records, expected_axes):
     for record in records:
         validate_record(record)
         json.dumps(record, allow_nan=False)
-        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["schema_version"] == record_schema_version(record)
         assert set(record["axes"]) == set(expected_axes)
 
 

@@ -95,6 +95,59 @@ class TestChurnSweepWalkthrough:
         }
 
 
+class TestChaosSweepWalkthrough:
+    """The EXPERIMENTS.md chaos-sweep commands execute, and the claims
+    they make — schema-v4 resilience metrics, per-replicate storms, a
+    resilience summary in the report — hold on the actual output."""
+
+    @pytest.fixture(scope="class")
+    def walkthrough(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        section = text.split("## Chaos sweeps", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        commands = fenced_repro_commands(section)
+        assert len(commands) == 3, commands
+        return commands
+
+    def test_walkthrough_executes(
+        self, walkthrough, tmp_path, monkeypatch, capsys
+    ):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        for command in walkthrough:
+            argv = shlex.split(command)[1:]
+            assert main(argv) == 0, f"walkthrough command failed: {command}"
+
+        def records(name):
+            path = tmp_path / "runs" / name / "results.jsonl"
+            return [
+                json.loads(line)
+                for line in path.read_text(encoding="utf-8").splitlines()
+            ]
+
+        outage = records("outage")
+        assert len(outage) == 2  # the spec's 2 seed replicates
+        for record in outage:
+            assert record["status"] == "ok"
+            assert record["schema_version"] == 4
+            assert record["faults_injected"] == 2
+            assert "recovery_mean_s" in record and "sla_violation_s" in record
+
+        chaos = records("chaos")
+        assert len(chaos) == 4  # 2 rates x 2 replicates
+        assert {r["axes"]["faults.chaos.rate_per_s"] for r in chaos} == {
+            0.05,
+            0.2,
+        }
+        assert len({r["run_id"] for r in chaos}) == 4
+        # The report (last command, on stdout) appends the resilience
+        # summary table next to the standard fleet summary.
+        captured = capsys.readouterr()
+        assert "resilience summary" in captured.out
+        assert "faults_injected" in captured.out
+
+
 class TestBudgetedSweepWalkthrough:
     """The EXPERIMENTS.md budgeted-sweep commands actually execute, and
     the pruning/backed-equivalence claims they make hold."""

@@ -14,7 +14,7 @@ import time
 
 import pytest
 
-from repro.analysis.report import SCHEMA_VERSION, canonical_results_digest
+from repro.analysis.report import canonical_results_digest, record_schema_version
 from repro.errors import SpecError
 from repro.fleet.backends import (
     LocalBackend,
@@ -152,7 +152,9 @@ class TestWorkerProtocol:
         record = json.loads(proc.stdout.decode("utf-8"))
         assert record["status"] == "ok"
         assert record["run_id"] == payload.run_id
-        assert record["schema_version"] == SCHEMA_VERSION
+        # Writers stamp the minimal version describing the record — a
+        # no-fault unit stays at the pre-fault-layer schema.
+        assert record["schema_version"] == record_schema_version(record)
 
     def test_noisy_worker_output_cannot_deadlock_dispatch(self, tmp_path):
         """A worker spewing far more than one OS pipe buffer (~64 KiB)

@@ -200,6 +200,51 @@ class TestFleetCompileSharing:
         assert cold.topology.inter_agent_ms is not warm.topology.inter_agent_ms
 
 
+class TestFaultViewsKeepCachePristine:
+    """Fault injection builds substrate *views*; the shared cache (and
+    every conference compiled from it) must never see faulted values."""
+
+    def faulted_spec(self) -> RunSpec:
+        data = sweep_spec().to_dict()
+        data["name"] = "substrate-chaos"
+        data["sweep"] = {}
+        data["faults"] = {
+            "policy": "migrate",
+            "chaos": {"rate_per_s": 1.0, "mean_duration_s": 3.0, "seed": 5},
+        }
+        return RunSpec.from_dict(data)
+
+    def test_chaos_run_leaves_cached_matrices_pristine(self, synthesis_spy):
+        from repro.fleet.compile import execute_spec
+
+        clean = expand_matrix(sweep_spec())[0].spec
+        cold = compile_spec(clean).conference
+        cold_inter = cold.topology.inter_agent_ms.copy()
+        cold_user = cold.topology.agent_user_ms.copy()
+        assert synthesis_spy["inter_agent"] == 1
+
+        # Simulate under chaos: every fault boundary derives a view from
+        # the cached substrate.  An in-place mutation would either raise
+        # (the cached arrays are write-protected) or corrupt what the
+        # clean compile below reads back.
+        record = execute_spec(self.faulted_spec())
+        assert record["faults_injected"] > 0
+
+        warm = compile_spec(clean).conference
+        assert synthesis_spy["inter_agent"] == 1  # served from cache
+        assert np.array_equal(warm.topology.inter_agent_ms, cold_inter)
+        assert np.array_equal(warm.topology.agent_user_ms, cold_user)
+
+    def test_faulted_and_clean_units_share_the_substrate(self, synthesis_spy):
+        """A faults section changes computation, not the substrate key:
+        faulted and clean grid points still compile against one cache
+        entry."""
+        compile_spec(self.faulted_spec())
+        compile_spec(expand_matrix(sweep_spec())[0].spec)
+        assert synthesis_spy["inter_agent"] == 1
+        assert substrate_cache_info()["hits"] >= 1
+
+
 def _normalized_lines(path):
     """results.jsonl lines with the only nondeterministic field removed."""
     lines = []

@@ -73,6 +73,44 @@ class TestEventQueue:
     def test_drained_queue_returns_none(self):
         assert EventQueue().pop() is None
 
+    def test_priority_orders_ties(self):
+        """At one instant: faults (-1) before dynamics (0) before
+        samples/wakes (1) — the pinned tie order of the simulator."""
+        queue = EventQueue()
+        queue.schedule(5.0, "sample", priority=1)
+        queue.schedule(5.0, "arrival", priority=0)
+        queue.schedule(5.0, "fault", priority=-1)
+        kinds = [queue.pop()[1].kind for _ in range(3)]
+        assert kinds == ["fault", "arrival", "sample"]
+
+    def test_tie_order_independent_of_insertion_order(self):
+        """Priority dominates insertion order, so the pop sequence at a
+        shared timestamp never depends on who scheduled first."""
+        import itertools
+
+        events = [("fault", -1), ("arrival", 0), ("wake", 1)]
+        for permutation in itertools.permutations(events):
+            queue = EventQueue()
+            for kind, priority in permutation:
+                queue.schedule(2.0, kind, priority=priority)
+            kinds = [queue.pop()[1].kind for _ in range(3)]
+            assert kinds == ["fault", "arrival", "wake"], permutation
+
+    def test_fifo_within_one_priority(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "fault-a", priority=-1)
+        queue.schedule(1.0, "fault-b", priority=-1)
+        assert queue.pop()[1].kind == "fault-a"
+        assert queue.pop()[1].kind == "fault-b"
+
+    def test_reschedule_preserves_priority(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, "fault", priority=-1)
+        queue.schedule(3.0, "sample", priority=1)
+        moved = queue.reschedule(handle, 3.0)
+        assert moved.priority == -1
+        assert queue.pop()[1].kind == "fault"
+
 
 class TestTimeSeriesRecorder:
     def test_round_trip(self):
