@@ -1,0 +1,129 @@
+"""Bench: service mode — decision throughput and tail latency.
+
+Three targets: (1) sustained arrive/depart decision throughput on a
+warm service (the number ``repro serve`` quotes in ``/metrics``),
+(2) the incremental splice+refine path vs a from-scratch re-solve of
+the whole placement — the gap is the whole point of holding warm
+state — and (3) the decision-latency p99 against the default budget.
+Floors are generous (CI machines vary wildly); a regression that turns
+the incremental path quadratic or makes decisions routinely blow the
+budget fails loudly.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.spec import RunSpec, SimulationSpec, WorkloadSpec
+from repro.service import InProcessClient, ServiceConfig, service_from_spec
+
+#: Floor on warm-service decisions per second (arrive/depart churn).
+MIN_DECISIONS_PER_S = 100.0
+
+#: Floor on the incremental-vs-from-scratch speedup for one arrival.
+MIN_INCREMENTAL_SPEEDUP = 1.0
+
+#: The rolling decision-latency p99 must stay inside this multiple of
+#: the default 50 ms budget.
+MAX_P99_BUDGET_RATIO = 1.0
+
+
+def _spec(num_sessions: int = 8) -> RunSpec:
+    return RunSpec(
+        name="bench-service",
+        workload=WorkloadSpec(kind="prototype", num_sessions=num_sessions),
+        simulation=SimulationSpec(
+            duration_s=30.0, hop_interval_mean_s=10.0, seed=7
+        ),
+    )
+
+
+def _service(refine_hops: int = 2, num_sessions: int = 8):
+    return service_from_spec(
+        _spec(num_sessions),
+        initial_sids=[0, 1],
+        config=ServiceConfig(refine_hops=refine_hops),
+    )
+
+
+def test_decision_throughput(benchmark):
+    """Sustained churn: one arrive + one depart round-trip per lap."""
+    client = InProcessClient(_service())
+    state = {"t": 0.0}
+
+    def churn():
+        state["t"] += 1.0
+        arrive = client.arrive(2, time_s=state["t"])
+        state["t"] += 1.0
+        depart = client.depart(2, time_s=state["t"])
+        return arrive, depart
+
+    arrive, depart = benchmark(churn)
+
+    assert arrive["status"] == "ok" and depart["status"] == "ok"
+    decisions_per_s = 2.0 / benchmark.stats.stats.mean
+    print(f"\nservice churn: {decisions_per_s:,.0f} decisions/s")
+    assert decisions_per_s > MIN_DECISIONS_PER_S
+
+
+def test_incremental_beats_from_scratch(benchmark):
+    """The warm-state claim: splice+refine one arrival, vs re-solving
+    the whole placement from a cold ledger."""
+    import time
+
+    service = _service()
+    client = InProcessClient(service)
+    state = {"t": 0.0}
+
+    # From-scratch baseline: a full re-solve of the live placement.
+    laps = 25
+    started = time.perf_counter()
+    for _ in range(laps):
+        state["t"] += 1.0
+        assert client.resolve(time_s=state["t"])["status"] == "ok"
+    scratch_s = (time.perf_counter() - started) / laps
+
+    def arrival_round_trip():
+        state["t"] += 1.0
+        assert client.arrive(2, time_s=state["t"])["status"] == "ok"
+        state["t"] += 1.0
+        assert client.depart(2, time_s=state["t"])["status"] == "ok"
+
+    benchmark(arrival_round_trip)
+
+    # Half a round trip ~ one arrival decision.
+    incremental_s = benchmark.stats.stats.mean / 2.0
+    speedup = scratch_s / incremental_s
+    print(
+        f"\nincremental arrival {incremental_s * 1e3:.2f} ms vs "
+        f"from-scratch {scratch_s * 1e3:.2f} ms ({speedup:.1f}x)"
+    )
+    assert speedup > MIN_INCREMENTAL_SPEEDUP
+
+
+def test_p99_stays_inside_budget(benchmark):
+    """Tail latency: after a churn burst the rolling p99 must sit
+    within the default 50 ms budget (observational, but the floor keeps
+    the hot path honest)."""
+    service = _service()
+    client = InProcessClient(service)
+    state = {"t": 0.0, "sid": 2}
+
+    def burst():
+        for _ in range(8):
+            state["t"] += 1.0
+            client.arrive(state["sid"], time_s=state["t"])
+            state["t"] += 1.0
+            client.depart(state["sid"], time_s=state["t"])
+            state["sid"] = 2 + (state["sid"] - 1) % 6  # cycle sids 2..7
+
+    benchmark(burst)
+
+    metrics = client.metrics()
+    ratio = metrics["latency_p99_ms"] / service.config.budget_ms
+    print(
+        f"\ndecision p99 {metrics['latency_p99_ms']:.2f} ms "
+        f"({ratio:.2f}x of the {service.config.budget_ms:.0f} ms budget, "
+        f"{metrics['budget_overruns']} overruns / "
+        f"{metrics['decisions']} decisions)"
+    )
+    assert metrics["errors"] == 0
+    assert ratio < MAX_P99_BUDGET_RATIO

@@ -50,14 +50,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: envelope blocks (present only when the unit ran with telemetry
 #: enabled; both are volatile — see :data:`VOLATILE_RECORD_FIELDS`).
 #: Version 4 adds the optional resilience metric fields written by
-#: fault-injected runs (:data:`RESILIENCE_METRICS`).  Every version-1/2/3
-#: record is also a valid version-4 record.
+#: fault-injected runs (:data:`RESILIENCE_METRICS`).  Version 5 adds the
+#: optional ``traceback`` envelope field carried by failed-unit
+#: diagnostic records.  Every version-1/2/3/4 record is also a valid
+#: version-5 record.
 #:
 #: Writers stamp the *lowest* version that describes a record (see
 #: :func:`record_schema_version`), so a run without a ``faults:``
 #: section serializes bit-identically to output written before the
 #: fault layer existed.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Statuses a record may carry: executed fine, executed-and-failed,
 #: killed by the per-unit wall-time budget, or abandoned by
@@ -71,6 +73,7 @@ ENVELOPE_FIELDS: dict[str, tuple[tuple[type, ...], bool, str]] = {
     "name": ((str,), True, "spec / experiment name"),
     "status": ((str,), True, '"ok", "error", "timeout" or "pruned"'),
     "error": ((str,), False, '"Type: message" when the unit did not finish'),
+    "traceback": ((str,), False, "formatted worker traceback (volatile)"),
     "run_id": ((str,), False, "content-hash of the resolved spec (fleet)"),
     "axes": ((dict,), False, "sweep-axis path -> value labels"),
     "seed": ((int,), False, "resolved simulation seed"),
@@ -147,11 +150,15 @@ _DIFF_IGNORED = ("description",)
 def record_schema_version(record: Mapping) -> int:
     """The lowest schema version that describes ``record``.
 
-    Only the resilience payload needs version 4; everything else —
-    including error records and no-fault fleet metrics — is expressible
-    at version 3.  Writers stamp this value so enabling the fault layer
-    never perturbs the bytes of runs that do not use it.
+    Only the ``traceback`` diagnostic needs version 5 and only the
+    resilience payload needs version 4; everything else — including
+    no-fault fleet metrics — is expressible at version 3.  Writers
+    stamp this value so enabling the fault layer (or attaching a
+    traceback to a failed unit) never perturbs the bytes of runs that
+    do not use them.
     """
+    if "traceback" in record:
+        return 5
     if any(name in record for name in RESILIENCE_METRICS):
         return 4
     return 3
@@ -309,15 +316,17 @@ def load_result_records(path: str | Path) -> list[dict]:
 
 #: Record fields excluded from :func:`canonical_results_digest`:
 #: ``wall_time_s`` is wall-clock noise, ``attempts`` depends on
-#: nondeterministic worker crashes, and the telemetry blocks
+#: nondeterministic worker crashes, the telemetry blocks
 #: (``timings`` are wall-clock measurements; ``counters`` include
-#: process-local cache statistics that differ across backends) — every
+#: process-local cache statistics that differ across backends) and
+#: ``traceback`` frames name backend-specific worker modules — every
 #: other field must reproduce bit-for-bit.
 VOLATILE_RECORD_FIELDS: tuple[str, ...] = (
     "wall_time_s",
     "attempts",
     "timings",
     "counters",
+    "traceback",
 )
 
 

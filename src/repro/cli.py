@@ -365,6 +365,94 @@ def _build_parser() -> argparse.ArgumentParser:
     play.add_argument(
         "--seed", type=int, default=None, help="override the simulation seed"
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="long-lived online placement service (arrive/depart/resize "
+        "over HTTP, incremental re-solve; see DESIGN.md 'Service mode')",
+    )
+    serve.add_argument(
+        "--spec",
+        default="prototype_smoke",
+        help="base spec (library name or file) providing workload/solver "
+        "(default prototype_smoke); its churn and sweep sections are "
+        "ignored — the service is driven externally",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port (0 = ephemeral; default 8642)",
+    )
+    serve.add_argument(
+        "--initial",
+        type=int,
+        default=1,
+        help="sessions active at startup when not driving a trace "
+        "(sids 0..N-1; default 1)",
+    )
+    serve.add_argument(
+        "--drive",
+        default="",
+        metavar="TRACE",
+        help="replay this trace file as service load, print the drive "
+        "report and exit (the trace's t=0 arrivals become the initial "
+        "conference)",
+    )
+    serve.add_argument(
+        "--http",
+        action="store_true",
+        help="with --drive: route the replay through a loopback HTTP "
+        "server instead of in-process calls",
+    )
+    serve.add_argument(
+        "--budget-ms",
+        type=float,
+        default=50.0,
+        help="per-event latency budget in ms — observational only: "
+        "overruns are counted in /metrics, decisions never depend on "
+        "wall time (default 50)",
+    )
+    serve.add_argument(
+        "--refine-hops",
+        type=int,
+        default=2,
+        help="greedy re-solve hops after each arrival/resize splice "
+        "(deterministic; 0 disables refinement; default 2)",
+    )
+    serve.add_argument(
+        "--decisions",
+        default="",
+        metavar="PATH",
+        help="append every placement decision to this JSONL log "
+        "(byte-identical across replays of one request log)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default="",
+        metavar="PATH",
+        help="rolling service.jsonl metrics snapshots",
+    )
+    serve.add_argument(
+        "--flush-every",
+        type=int,
+        default=100,
+        help="decisions between rolling metrics snapshots (default 100)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None, help="override the simulation seed"
+    )
+    serve.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="PATH=VALUE",
+        help="override a scalar spec field, e.g. solver.beta=200",
+    )
     return parser
 
 
@@ -586,6 +674,85 @@ def _play_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.fleet.spec import RunSpec, apply_override
+    from repro.service import (
+        HTTPServiceClient,
+        InProcessClient,
+        ServiceConfig,
+        ServiceServer,
+        drive_trace,
+        service_from_spec,
+    )
+    from repro.service.drive import initial_sids_of
+    from repro.runtime.traces import load_trace
+
+    spec = _resolve_spec(args.spec)
+    data = spec.to_dict()
+    for raw in args.overrides:
+        path, value = _split_assignment(raw, "--set")
+        apply_override(data, path, _parse_scalar(value))
+    if args.seed is not None:
+        apply_override(data, "simulation.seed", args.seed)
+    spec = RunSpec.from_dict(data)
+
+    events = None
+    if args.drive:
+        events = load_trace(args.drive)
+        initial = initial_sids_of(events)
+    else:
+        initial = list(range(max(1, args.initial)))
+
+    config = ServiceConfig(
+        budget_ms=args.budget_ms,
+        refine_hops=args.refine_hops,
+        decision_log=args.decisions,
+        metrics_log=args.metrics_out,
+        metrics_flush_every=args.flush_every,
+    )
+    service = service_from_spec(spec, initial_sids=initial, config=config)
+    _LOG.info(
+        "service warm: spec %s, %d initial session(s), refine_hops=%d",
+        spec.name,
+        len(initial),
+        config.refine_hops,
+    )
+
+    if events is not None:
+        server = None
+        try:
+            if args.http:
+                server = ServiceServer(service, host=args.host, port=0).start()
+                client = HTTPServiceClient(server.url)
+                _LOG.info("driving over loopback HTTP at %s", server.url)
+            else:
+                client = InProcessClient(service)
+            report = drive_trace(client, events)
+        finally:
+            if server is not None:
+                server.shutdown()
+        summary = report.as_dict()
+        summary["metrics"] = service.stats.snapshot()
+        print(_json.dumps(summary, sort_keys=True, indent=2))
+        return 1 if report.errors else 0
+
+    server = ServiceServer(service, host=args.host, port=args.port)
+    _LOG.info(
+        "serving on %s (POST /v1/arrive|depart|resize|resolve|request, "
+        "GET /v1/snapshot /metrics /healthz; POST /v1/shutdown or Ctrl-C "
+        "to stop)",
+        server.url,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        _LOG.info("interrupted; shutting down")
+        server.shutdown()
+    return 0
+
+
 def _report_fleet(args: argparse.Namespace) -> int:
     from repro.analysis.report import (
         compare_fleets,
@@ -702,6 +869,15 @@ def _dispatch(argv: Sequence[str] | None) -> int:
             if args.trace_command == "validate":
                 return _validate_trace(args)
             return _play_trace(args)
+        except ReproError as error:
+            _LOG.error("error: %s", error)
+            return 2
+
+    if args.command == "serve":
+        from repro.errors import ReproError
+
+        try:
+            return _serve(args)
         except ReproError as error:
             _LOG.error("error: %s", error)
             return 2

@@ -424,6 +424,47 @@ class SearchContext:
             count += 1
         return count
 
+    def best_candidate(self, sid: int) -> Candidate | None:
+        """The feasible neighbour of ``sid`` with the lowest *observed*
+        ``phi``, or ``None`` when the session has no feasible move.
+
+        Deterministic on every kernel: ties resolve to the first
+        candidate in the reference enumeration order (``np.argmin``
+        semantics), and without noise no generator state is consumed —
+        this is the service layer's incremental-delta entry point, so it
+        must never perturb replay determinism.
+        """
+        if self._batched:
+            batch = self.candidate_batch(sid)
+            if batch.num_feasible == 0:
+                return None
+            return batch.materialize(int(np.argmin(batch.phi)))
+        best: Candidate | None = None
+        for move in session_moves(self._conference, self._assignment, sid):
+            candidate = self.evaluate_move(sid, move)
+            if candidate is not None and (best is None or candidate.phi < best.phi):
+                best = candidate
+        return best
+
+    def greedy_refine(self, sid: int, max_hops: int) -> int:
+        """Commit up to ``max_hops`` strictly-improving best moves of
+        ``sid`` and return how many were taken.
+
+        Pure greedy descent on the session's own move set against the
+        live ledger — the incremental re-solve a long-lived service runs
+        after splicing a session in, bounded by a deterministic hop
+        count rather than wall time so identical request logs yield
+        identical decisions.
+        """
+        hops = 0
+        while hops < max_hops:
+            candidate = self.best_candidate(sid)
+            if candidate is None or candidate.phi >= self._costs[sid].phi:
+                break
+            self.commit(sid, candidate)
+            hops += 1
+        return hops
+
     # ------------------------------------------------------------------ #
     # Commitment                                                         #
     # ------------------------------------------------------------------ #

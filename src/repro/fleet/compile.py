@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 import time
+import traceback
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -376,14 +377,14 @@ def execute_payload(
             record = execute_spec(RunSpec.from_dict(spec_dict))
         record["status"] = "ok"
     except Exception as error:  # noqa: BLE001 - one bad unit must not sink the fleet
-        # An error record carries no resilience fields, so it stamps the
-        # base schema version — byte-identical to pre-fault-layer output.
         record = {
-            "schema_version": record_schema_version({}),
+            "schema_version": 0,  # re-stamped once the shape is known
             "name": str(spec_dict.get("name", "")),
             "status": "error",
             "error": f"{type(error).__name__}: {error}",
+            "traceback": traceback.format_exc(),
         }
+        record["schema_version"] = record_schema_version(record)
     record["run_id"] = run_id
     record["axes"] = axes
     record["seed"] = seed

@@ -34,7 +34,7 @@ from pathlib import Path
 import yaml
 
 from repro.core.search import KERNELS as SOLVER_KERNELS
-from repro.errors import SpecError
+from repro.errors import ModelError, SpecError
 from repro.netsim.sites import known_region_names, known_site_names, region
 from repro.runtime.faults import FAULT_KINDS, FAULT_POLICIES
 from repro.runtime.traces import HOLDING_KINDS, PROCESS_KINDS, SessionProcess
@@ -260,11 +260,11 @@ class TopologySpec:
         for name in self.regions:
             try:
                 region(name)
-            except Exception:
+            except ModelError as error:
                 raise SpecError(
                     f"topology.regions: unknown cloud region {name!r}; "
                     f"known: {list(known_region_names())}"
-                ) from None
+                ) from error
         known_sites = known_site_names()
         for name in self.user_sites:
             if name not in known_sites:

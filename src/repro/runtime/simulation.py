@@ -35,12 +35,10 @@ from typing import Literal
 import numpy as np
 
 import repro.telemetry as tele
-from repro.core.agrank import AgRankConfig, agrank_assignment
+from repro.core.agrank import AgRankConfig
 from repro.core.assignment import Assignment
-from repro.core.bootstrap import bootstrap_assignment
 from repro.core.delay import average_conferencing_delay, session_user_delays
-from repro.core.markov import MarkovAssignmentSolver, MarkovConfig
-from repro.core.nearest import nearest_assignment
+from repro.core.markov import MarkovConfig
 from repro.core.objective import ObjectiveEvaluator
 from repro.errors import InfeasibleError, SimulationError
 from repro.model.conference import Conference
@@ -58,6 +56,7 @@ from repro.runtime.faults import (
     outaged_sites,
     stranded_sessions,
 )
+from repro.runtime.live import LiveConference
 from repro.runtime.metrics import TimeSeriesRecorder
 from repro.runtime.migration import MigrationModel, MigrationRecord
 from repro.runtime.traces import TracePlayer
@@ -180,54 +179,22 @@ class ConferencingSimulator:
         self._freezes = 0
         self._resizes = 0
         self._pending_trace = 0
-        self._solver: MarkovAssignmentSolver | None = None
+        self._live: LiveConference | None = None
 
         # Fault-injection state: the pristine evaluator/conference are
         # kept so every substrate view derives from unfaulted matrices
-        # (never view-of-view), and hop counters are carried across the
-        # solver swap a fault transition performs.
+        # (never view-of-view); the live engine carries hop counters
+        # across the solver swap a fault transition performs.
         self._faults = faults
         self._pristine_evaluator = evaluator
         self._pristine_conference = self._conference
         self._active_faults: list[Fault] = []
-        self._carried_hops = 0
         self._faults_injected = 0
         self._fault_migrations = 0
         self._sessions_dropped = 0
         self._sla_violation_s = 0.0
         self._recovery_times: list[float] = []
         self._pending_recovery: list[tuple[Fault, float]] = []
-
-    # ------------------------------------------------------------------ #
-    # Bootstrap                                                          #
-    # ------------------------------------------------------------------ #
-
-    def _bootstrap_initial(self) -> Assignment:
-        if self._initial_assignment is not None:
-            return self._initial_assignment
-        sids = list(self._player.initial_sids)
-        # Admission checks capacities only: the runtime's hop filter
-        # enforces the delay cap from the first migration onwards.
-        return bootstrap_assignment(
-            self._conference,
-            policy=self._config.initial_policy,
-            config=self._config.agrank,
-            sids=sids,
-            check_delay=False,
-        )
-
-    def _bootstrap_arrival(self, sid: int) -> Assignment:
-        assert self._solver is not None
-        base = self._solver.assignment
-        if self._config.initial_policy == "nearest":
-            return nearest_assignment(self._conference, [sid], base=base)
-        return agrank_assignment(
-            self._conference,
-            sid,
-            ledger=self._solver.context.ledger,
-            config=self._config.agrank,
-            base=base,
-        )
 
     # ------------------------------------------------------------------ #
     # Event handlers                                                     #
@@ -257,11 +224,11 @@ class ConferencingSimulator:
             self._wake_handles[sid] = (new_handle, shifted)
 
     def _on_wake(self, sid: int, now: float) -> None:
-        assert self._solver is not None
+        assert self._live is not None
         if sid not in self._wake_handles:
             return  # departed in the meantime
-        before = self._solver.assignment
-        result = self._solver.session_hop(sid)
+        before = self._live.assignment
+        result = self._live.hop(sid)
         if result.moved and result.move is not None:
             self._freeze_others(sid, now)
             self._migrations.append(
@@ -270,25 +237,25 @@ class ConferencingSimulator:
         self._schedule_wake(sid, now)
 
     def _on_sample(self, now: float) -> None:
-        assert self._solver is not None
-        active = self._solver.context.active_sessions
+        assert self._live is not None
+        active = self._live.context.active_sessions
         if active:
             traffic = sum(
-                self._solver.context.session_cost(sid).inter_agent_mbps
+                self._live.context.session_cost(sid).inter_agent_mbps
                 for sid in active
             )
             delay = average_conferencing_delay(
-                self._conference, self._solver.assignment, active
+                self._conference, self._live.assignment, active
             )
             self._recorder.record("traffic", now, traffic)
             self._recorder.record("delay", now, delay)
-            self._recorder.record("phi", now, self._solver.total_phi())
+            self._recorder.record("phi", now, self._live.total_phi())
             self._recorder.record("sessions", now, float(len(active)))
             for sid in self._config.track_sessions:
                 if sid in active:
-                    cost = self._solver.context.session_cost(sid)
+                    cost = self._live.context.session_cost(sid)
                     per_user = session_user_delays(
-                        self._conference, self._solver.assignment, sid
+                        self._conference, self._live.assignment, sid
                     )
                     self._recorder.record(f"s{sid}/traffic", now, cost.inter_agent_mbps)
                     self._recorder.record(
@@ -302,20 +269,19 @@ class ConferencingSimulator:
             self._queue.schedule(next_sample, "sample", priority=1)
 
     def _on_arrival(self, sid: int, now: float) -> None:
-        assert self._solver is not None
-        assignment = self._bootstrap_arrival(sid)
-        self._solver.context.add_session(sid, assignment)
+        assert self._live is not None
+        self._live.arrive(sid)
         self._schedule_wake(sid, now)
         tele.count("sim.arrivals")
         self._trace_event_done()
 
     def _on_departure(self, sid: int, now: float) -> None:
-        assert self._solver is not None
+        assert self._live is not None
         del now
         handle_entry = self._wake_handles.pop(sid, None)
         if handle_entry is not None:
             handle_entry[0].cancel()
-        self._solver.context.remove_session(sid)
+        self._live.depart(sid)
         tele.count("sim.departures")
         self._trace_event_done()
 
@@ -323,11 +289,10 @@ class ConferencingSimulator:
         """Re-admit a live session against the current residual
         capacities (the roster is fixed, so a membership change shows up
         as a placement renegotiation); its WAIT countdown keeps running."""
-        assert self._solver is not None
+        assert self._live is not None
         del now
         if sid in self._wake_handles:
-            self._solver.context.remove_session(sid)
-            self._solver.context.add_session(sid, self._bootstrap_arrival(sid))
+            self._live.resize(sid)
             self._resizes += 1
         self._trace_event_done()
 
@@ -350,57 +315,47 @@ class ConferencingSimulator:
         self._apply_fault_policy(now)
 
     def _rebuild_solver(self) -> None:
-        """Swap the solver onto the current substrate view.
+        """Swap the live engine onto the current substrate view.
 
         The view evaluator keeps the pristine objective weights and
         per-agent costs (no renormalization mid-run — the objective's
-        scales are part of the experiment, not of the substrate), the
-        assignment and active set carry over unchanged, and the solver
-        reuses the simulator's rng object so the wake/hop draw sequence
-        is untouched.  Hop counters are accumulated across the swap.
+        scales are part of the experiment, not of the substrate); the
+        engine carries the assignment, active set, hop counters and the
+        rng object across the swap, so the wake/hop draw sequence is
+        untouched.
         """
-        assert self._solver is not None
+        assert self._live is not None
         if self._active_faults:
             view = apply_faults(self._pristine_conference, self._active_faults)
             evaluator = self._pristine_evaluator.with_conference(view)
         else:
             view = self._pristine_conference
             evaluator = self._pristine_evaluator
-        self._carried_hops += self._solver.hops
-        active = self._solver.context.active_sessions
-        assignment = self._solver.assignment
         self._conference = view
         self._evaluator = evaluator
-        self._solver = MarkovAssignmentSolver(
-            evaluator,
-            assignment,
-            config=self._config.markov,
-            active_sids=active,
-            noise=self._noise,
-            rng=self._rng,
-        )
+        self._live.swap_evaluator(evaluator)
 
     def _apply_fault_policy(self, now: float) -> None:
         """Recover sessions stranded on outaged sites per the policy."""
-        assert self._faults is not None and self._solver is not None
+        assert self._faults is not None and self._live is not None
         dead = outaged_sites(self._active_faults)
         if not dead or self._faults.policy == "none":
             return
         stranded = stranded_sessions(
             self._conference,
-            self._solver.assignment,
-            self._solver.context.active_sessions,
+            self._live.assignment,
+            self._live.context.active_sessions,
             dead,
         )
         for sid in stranded:
-            self._solver.context.remove_session(sid)
+            self._live.depart(sid)
             if self._faults.policy == "migrate":
                 try:
-                    assignment = self._bootstrap_arrival(sid)
+                    assignment = self._live.placement_for(sid)
                 except InfeasibleError:
                     self._drop_session(sid)
                     continue
-                self._solver.context.add_session(sid, assignment)
+                self._live.context.add_session(sid, assignment)
                 self._fault_migrations += 1
                 tele.count("sim.fault_migrations")
             else:  # "drop"
@@ -424,8 +379,8 @@ class ConferencingSimulator:
         dead site (zero at every sample under the ``migrate`` policy —
         the property suite pins exactly that).
         """
-        assert self._solver is not None
-        assignment = self._solver.assignment
+        assert self._live is not None
+        assignment = self._live.assignment
         profile = self._evaluator.profile
         violating = False
         for sid in active:
@@ -482,14 +437,15 @@ class ConferencingSimulator:
     def run(self) -> SimulationResult:
         """Execute the simulation and return all recorded artifacts."""
         with tele.span("sim.bootstrap"):
-            initial = self._bootstrap_initial()
-            self._solver = MarkovAssignmentSolver(
+            self._live = LiveConference.bootstrap(
                 self._evaluator,
-                initial,
-                config=self._config.markov,
-                active_sids=list(self._player.initial_sids),
+                list(self._player.initial_sids),
+                markov=self._config.markov,
+                initial_policy=self._config.initial_policy,
+                agrank=self._config.agrank,
                 noise=self._noise,
                 rng=self._rng,
+                initial_assignment=self._initial_assignment,
             )
         for sid in self._player.initial_sids:
             self._schedule_wake(sid, 0.0)
@@ -530,9 +486,9 @@ class ConferencingSimulator:
         return SimulationResult(
             recorder=self._recorder,
             migrations=self._migrations,
-            hops=self._carried_hops + self._solver.hops,
+            hops=self._live.hops,
             freezes=self._freezes,
-            final_assignment=self._solver.assignment,
+            final_assignment=self._live.assignment,
             config=self._config,
             resizes=self._resizes,
             trace_events=self._player.events_streamed,

@@ -1,0 +1,47 @@
+"""``repro.service`` — the long-lived online placement service.
+
+A persistent process holds a warm :class:`~repro.runtime.live.
+LiveConference` (live ``SearchContext``/``PhiArray`` state over cached
+substrate matrices) and answers ``arrive`` / ``depart`` / ``resize`` /
+``snapshot`` requests with placement decisions computed by *incremental*
+re-solve — only the affected session's move set is re-solved, never the
+whole conference — falling back to a from-scratch re-solve when the
+incremental placement is infeasible.
+
+Layers (see DESIGN.md "Service mode"):
+
+* :mod:`repro.service.service` — :class:`PlacementService`, the
+  transport-free request engine (validation, decisions, decision log);
+* :mod:`repro.service.metrics` — decision-latency histograms and
+  sustained-throughput counters, surfaced via ``metrics`` requests and
+  a rolling ``service.jsonl``;
+* :mod:`repro.service.http` — a stdlib ``ThreadingHTTPServer`` front
+  door (no framework dependency);
+* :mod:`repro.service.client` — in-process and HTTP clients sharing one
+  interface, so tests and benches exercise the same call shape;
+* :mod:`repro.service.drive` — replays PR 4 trace files/generators as
+  service load (``repro serve --drive``).
+"""
+
+from repro.service.client import HTTPServiceClient, InProcessClient
+from repro.service.drive import DriveReport, drive_trace, initial_sids_of
+from repro.service.http import ServiceServer
+from repro.service.metrics import DecisionStats
+from repro.service.service import (
+    PlacementService,
+    ServiceConfig,
+    service_from_spec,
+)
+
+__all__ = [
+    "DecisionStats",
+    "DriveReport",
+    "HTTPServiceClient",
+    "InProcessClient",
+    "PlacementService",
+    "ServiceConfig",
+    "ServiceServer",
+    "drive_trace",
+    "initial_sids_of",
+    "service_from_spec",
+]

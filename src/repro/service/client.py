@@ -1,0 +1,97 @@
+"""Clients for the placement service — one interface, two transports.
+
+:class:`InProcessClient` calls the service object directly (tests,
+benches, ``repro serve --drive``); :class:`HTTPServiceClient` speaks to
+a running :class:`~repro.service.http.ServiceServer` over ``urllib``
+(no extra dependency).  Both expose the same ``request``/convenience
+surface and return the service's structured response dict verbatim, so
+everything written against one runs against the other — the service
+smoke test drives the identical trace through both and compares
+decision logs byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.service.service import PlacementService
+
+
+class _ClientBase:
+    def request(self, payload: dict) -> dict:
+        raise NotImplementedError
+
+    def arrive(self, sid: int, time_s: float | None = None) -> dict:
+        return self._op("arrive", sid, time_s)
+
+    def depart(self, sid: int, time_s: float | None = None) -> dict:
+        return self._op("depart", sid, time_s)
+
+    def resize(self, sid: int, time_s: float | None = None) -> dict:
+        return self._op("resize", sid, time_s)
+
+    def resolve(self, time_s: float | None = None) -> dict:
+        payload: dict = {"op": "resolve"}
+        if time_s is not None:
+            payload["time_s"] = time_s
+        return self.request(payload)
+
+    def snapshot(self) -> dict:
+        return self.request({"op": "snapshot"})
+
+    def metrics(self) -> dict:
+        return self.request({"op": "metrics"})
+
+    def _op(self, op: str, sid: int, time_s: float | None) -> dict:
+        payload: dict = {"op": op, "sid": sid}
+        if time_s is not None:
+            payload["time_s"] = time_s
+        return self.request(payload)
+
+
+class InProcessClient(_ClientBase):
+    """Direct calls into a :class:`PlacementService` (no transport)."""
+
+    def __init__(self, service: PlacementService):
+        self._service = service
+
+    @property
+    def service(self) -> PlacementService:
+        return self._service
+
+    def request(self, payload: dict) -> dict:
+        return self._service.request(payload)
+
+
+class HTTPServiceClient(_ClientBase):
+    """JSON-over-HTTP calls to a running :class:`ServiceServer`."""
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0):
+        self._base = base_url.rstrip("/")
+        self._timeout = timeout_s
+
+    def request(self, payload: dict) -> dict:
+        data = json.dumps(payload).encode("utf-8")
+        req = urllib.request.Request(
+            f"{self._base}/v1/request",
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self._timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            # Domain rejections (409) and malformed bodies (400) carry
+            # the structured error body; surface it like the in-process
+            # client does instead of raising.
+            return json.loads(error.read().decode("utf-8"))
+
+    def shutdown(self) -> dict:
+        req = urllib.request.Request(
+            f"{self._base}/v1/shutdown", data=b"{}", method="POST"
+        )
+        with urllib.request.urlopen(req, timeout=self._timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))

@@ -1,0 +1,146 @@
+"""Stdlib HTTP front door for the placement service.
+
+No web framework (the repo's only runtime deps are numpy + PyYAML): a
+``ThreadingHTTPServer`` dispatches JSON bodies into
+:meth:`~repro.service.service.PlacementService.request`, which owns all
+locking — concurrent requests serialize on the service's decision lock,
+so HTTP adds transport, not semantics.
+
+Routes::
+
+    POST /v1/request   {"op": ..., "sid": ..., "time_s": ...}
+    POST /v1/arrive    {"sid": ..., "time_s": ...}   (op implied)
+    POST /v1/depart    ditto
+    POST /v1/resize    ditto
+    POST /v1/resolve   {}
+    POST /v1/shutdown  stop the server loop
+    GET  /v1/snapshot  placement snapshot
+    GET  /metrics      decision-latency metrics (JSON)
+    GET  /healthz      liveness probe
+
+Unparseable JSON answers 400, domain rejections 409, unknown routes
+404 — each with the service's structured ``{"status": "error", ...}``
+body, so clients branch on one shape.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.log import get_logger
+from repro.service.service import SERVICE_OPS, PlacementService
+
+_LOG = get_logger("service.http")
+
+#: POST routes that imply their op.
+_OP_ROUTES = {f"/v1/{op}": op for op in SERVICE_OPS}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        _LOG.debug("%s %s", self.address_string(), fmt % args)
+
+    def _reply(self, status: int, body: dict) -> None:
+        data = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _error(self, status: int, code: str, message: str) -> None:
+        self._reply(
+            status,
+            {"status": "error", "error": {"code": code, "message": message}},
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok"})
+        elif self.path == "/metrics":
+            self._reply(
+                200, self.server.service.request({"op": "metrics"})
+            )
+        elif self.path == "/v1/snapshot":
+            self._reply(
+                200, self.server.service.request({"op": "snapshot"})
+            )
+        else:
+            self._error(404, "not_found", f"unknown route {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/v1/shutdown":
+            self._reply(200, {"status": "ok"})
+            self.server.request_shutdown()
+            return
+        op = _OP_ROUTES.get(self.path)
+        if self.path != "/v1/request" and op is None:
+            self._error(404, "not_found", f"unknown route {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b"{}"
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            self._error(400, "malformed", f"body is not valid JSON: {error}")
+            return
+        if op is not None and isinstance(payload, dict):
+            payload = {"op": op, **payload}
+        response = self.server.service.request(payload)
+        self._reply(200 if response["status"] == "ok" else 409, response)
+
+
+class ServiceServer:
+    """A placement service listening on a TCP port.
+
+    ``port=0`` binds an ephemeral port (tests); :meth:`serve_forever`
+    blocks until :meth:`shutdown` or a ``POST /v1/shutdown``, while
+    :meth:`start` runs the loop on a daemon thread instead.
+    """
+
+    def __init__(
+        self, service: PlacementService, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        # Hand the handler a back-reference through the server object.
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._httpd.request_shutdown = self.request_shutdown  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def request_shutdown(self) -> None:
+        """Stop the serve loop without deadlocking the calling handler."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

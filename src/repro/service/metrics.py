@@ -1,0 +1,132 @@
+"""Decision-latency accounting for the placement service.
+
+Latency is an *observability* contract, not a control input: the
+latency budget never steers a decision (that would make replay
+nondeterministic — see DESIGN.md "Service mode"), it is measured
+against every request and surfaced three ways: per-request
+(``latency_ms`` on the response), on demand (the ``metrics`` op /
+``GET /metrics``), and as a rolling ``service.jsonl`` the service
+appends a snapshot line to every ``metrics_flush_every`` decisions.
+Decision *logs* carry none of these fields, so identical request logs
+stay byte-identical across machines of any speed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+
+#: Fixed decision-latency histogram bucket upper bounds (milliseconds);
+#: the terminal bucket is unbounded.
+LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+)
+
+#: How many recent latencies back the percentile estimates.
+_RESERVOIR = 4096
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values))))
+    return sorted_values[rank]
+
+
+class DecisionStats:
+    """Counts, histogram and rolling percentiles of service decisions."""
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+        self._decisions = 0
+        self._errors = 0
+        self._budget_overruns = 0
+        self._by_op: dict[str, int] = {}
+        self._latency_sum_ms = 0.0
+        self._latency_max_ms = 0.0
+        self._recent: deque[float] = deque(maxlen=_RESERVOIR)
+        self._histogram = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+
+    @property
+    def decisions(self) -> int:
+        return self._decisions
+
+    @property
+    def budget_overruns(self) -> int:
+        return self._budget_overruns
+
+    def observe(
+        self, op: str, latency_ms: float, ok: bool, overrun: bool
+    ) -> None:
+        """Record one handled request."""
+        self._decisions += 1
+        self._by_op[op] = self._by_op.get(op, 0) + 1
+        if not ok:
+            self._errors += 1
+        if overrun:
+            self._budget_overruns += 1
+        self._latency_sum_ms += latency_ms
+        self._latency_max_ms = max(self._latency_max_ms, latency_ms)
+        self._recent.append(latency_ms)
+        for i, bound in enumerate(LATENCY_BUCKETS_MS):
+            if latency_ms <= bound:
+                self._histogram[i] += 1
+                break
+        else:
+            self._histogram[-1] += 1
+
+    def snapshot(self) -> dict:
+        """JSON-safe metrics snapshot (the ``/metrics`` payload)."""
+        elapsed = time.perf_counter() - self._started
+        recent = sorted(self._recent)
+        return {
+            "decisions": self._decisions,
+            "errors": self._errors,
+            "budget_overruns": self._budget_overruns,
+            "by_op": dict(sorted(self._by_op.items())),
+            "uptime_s": elapsed,
+            "decisions_per_s": (
+                self._decisions / elapsed if elapsed > 0 else 0.0
+            ),
+            "latency_mean_ms": (
+                self._latency_sum_ms / self._decisions
+                if self._decisions
+                else 0.0
+            ),
+            "latency_max_ms": self._latency_max_ms,
+            "latency_p50_ms": _percentile(recent, 0.50),
+            "latency_p90_ms": _percentile(recent, 0.90),
+            "latency_p99_ms": _percentile(recent, 0.99),
+            "latency_buckets_ms": list(LATENCY_BUCKETS_MS),
+            "latency_histogram": list(self._histogram),
+        }
+
+
+class MetricsLog:
+    """Rolling ``service.jsonl``: one snapshot line per flush window."""
+
+    def __init__(self, path: str | Path, flush_every: int = 100) -> None:
+        self._path = Path(path)
+        self._flush_every = max(1, flush_every)
+        self._since_flush = 0
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._path.write_text("", encoding="utf-8")
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def tick(self, stats: DecisionStats) -> None:
+        """Count one decision; append a snapshot at window boundaries."""
+        self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self.flush(stats)
+
+    def flush(self, stats: DecisionStats) -> None:
+        self._since_flush = 0
+        with self._path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(stats.snapshot(), sort_keys=True))
+            handle.write("\n")

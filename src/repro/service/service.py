@@ -1,0 +1,431 @@
+"""The transport-free placement service engine.
+
+:class:`PlacementService` wraps a warm :class:`~repro.runtime.live.
+LiveConference` behind one entry point — :meth:`PlacementService.
+request` — that validates a plain-dict payload, executes the decision
+under a lock, and answers with a structured decision or a structured
+error.  Nothing here knows about HTTP; :mod:`repro.service.http` and
+:mod:`repro.service.client` are thin shells around this class, so the
+in-process client, the HTTP server and the benches all exercise the
+same code path.
+
+Determinism contract (pinned by ``tests/test_service.py``): every
+decision-affecting control flow is deterministic —
+
+* arrivals/resizes place incrementally against the live ledger and fall
+  back to a from-scratch re-solve on :class:`~repro.errors.
+  InfeasibleError` (a deterministic outcome of the request sequence,
+  never of wall time);
+* post-splice refinement runs :meth:`~repro.runtime.live.
+  LiveConference.refine` for a configured *hop count*, not a time
+  budget;
+* the per-event latency budget is purely observational: overruns are
+  counted (:class:`~repro.service.metrics.DecisionStats`), never acted
+  on.
+
+Decision-log records therefore exclude every latency field, and
+replaying an identical request log yields a byte-identical
+``decisions.jsonl``.  Failed requests leave the live state untouched
+(:meth:`LiveConference.resize` restores the prior placement before an
+infeasibility propagates; the from-scratch fallback computes its
+assignment before mutating anything) and never kill the process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import InfeasibleError
+from repro.runtime.faults import Fault, FaultSchedule
+from repro.runtime.live import LiveConference
+from repro.service.metrics import DecisionStats, MetricsLog
+
+#: Requests the service understands.  ``arrive`` / ``depart`` /
+#: ``resize`` / ``resolve`` mutate the placement and are decision-logged;
+#: ``snapshot`` / ``metrics`` are read-only.
+SERVICE_OPS: tuple[str, ...] = (
+    "arrive",
+    "depart",
+    "resize",
+    "snapshot",
+    "resolve",
+    "metrics",
+)
+
+_MUTATING_OPS = frozenset({"arrive", "depart", "resize", "resolve"})
+_SID_OPS = frozenset({"arrive", "depart", "resize"})
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance.
+
+    ``budget_ms`` is the per-event latency budget — observational only
+    (overruns are counted and surfaced, decisions never depend on it).
+    ``refine_hops`` bounds the deterministic greedy re-solve run after
+    each arrival/resize splice; 0 disables refinement (the setting the
+    simulator-equivalence pin uses).
+    """
+
+    budget_ms: float = 50.0
+    refine_hops: int = 2
+    #: Decision log path (``decisions.jsonl``); empty = in-memory only.
+    decision_log: str = ""
+    #: Rolling metrics path (``service.jsonl``); empty = no file.
+    metrics_log: str = ""
+    #: Decisions between rolling-metrics snapshot lines.
+    metrics_flush_every: int = 100
+
+
+class _RequestError(Exception):
+    """Internal: validation/domain rejection -> structured error."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+class PlacementService:
+    """A live conference behind a request/decision interface."""
+
+    def __init__(
+        self,
+        live: LiveConference,
+        config: ServiceConfig | None = None,
+        faults: FaultSchedule | None = None,
+    ):
+        self._live = live
+        self._config = config if config is not None else ServiceConfig()
+        self._faults = faults
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._clock = 0.0
+        self._stats = DecisionStats()
+        self._decision_path: Path | None = None
+        if self._config.decision_log:
+            self._decision_path = Path(self._config.decision_log)
+            self._decision_path.parent.mkdir(parents=True, exist_ok=True)
+            self._decision_path.write_text("", encoding="utf-8")
+        self._metrics_log: MetricsLog | None = None
+        if self._config.metrics_log:
+            self._metrics_log = MetricsLog(
+                self._config.metrics_log,
+                flush_every=self._config.metrics_flush_every,
+            )
+
+    @property
+    def live(self) -> LiveConference:
+        return self._live
+
+    @property
+    def config(self) -> ServiceConfig:
+        return self._config
+
+    @property
+    def stats(self) -> DecisionStats:
+        return self._stats
+
+    # ------------------------------------------------------------------ #
+    # Request handling                                                   #
+    # ------------------------------------------------------------------ #
+
+    def request(self, payload: object) -> dict:
+        """Handle one request; always returns, never raises.
+
+        The response is the deterministic decision record plus the
+        volatile observability fields (``latency_ms``,
+        ``budget_overrun``); only the former is written to the decision
+        log.
+        """
+        started = time.perf_counter()
+        with self._lock:
+            self._seq += 1
+            record = {"seq": self._seq}
+            op = "?"
+            try:
+                op, sid, time_s = self._validate(payload)
+                record.update({"op": op, "time_s": time_s})
+                if sid is not None:
+                    record["sid"] = sid
+                record.update(self._dispatch(op, sid, time_s))
+                record["status"] = "ok"
+            except _RequestError as error:
+                record["status"] = "error"
+                record["error"] = {
+                    "code": error.code,
+                    "message": str(error),
+                }
+            mutating = op in _MUTATING_OPS or record["status"] == "error"
+            if mutating and self._decision_path is not None:
+                with self._decision_path.open(
+                    "a", encoding="utf-8"
+                ) as handle:
+                    handle.write(json.dumps(record, sort_keys=True))
+                    handle.write("\n")
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            overrun = latency_ms > self._config.budget_ms
+            self._stats.observe(
+                op, latency_ms, record["status"] == "ok", overrun
+            )
+            if self._metrics_log is not None:
+                self._metrics_log.tick(self._stats)
+        response = dict(record)
+        response["latency_ms"] = latency_ms
+        response["budget_overrun"] = overrun
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Validation                                                         #
+    # ------------------------------------------------------------------ #
+
+    def _validate(
+        self, payload: object
+    ) -> tuple[str, int | None, float]:
+        if not isinstance(payload, dict):
+            raise _RequestError(
+                "malformed",
+                f"payload must be a JSON object, got {type(payload).__name__}",
+            )
+        op = payload.get("op")
+        if not isinstance(op, str) or op not in SERVICE_OPS:
+            raise _RequestError(
+                "malformed",
+                f"op must be one of {list(SERVICE_OPS)}, got {op!r}",
+            )
+        unknown = set(payload) - {"op", "sid", "time_s"}
+        if unknown:
+            raise _RequestError(
+                "malformed", f"unknown payload fields {sorted(unknown)}"
+            )
+        time_s = payload.get("time_s", self._clock)
+        if (
+            isinstance(time_s, bool)
+            or not isinstance(time_s, (int, float))
+            or time_s != time_s  # NaN
+            or time_s < 0
+        ):
+            raise _RequestError(
+                "malformed", f"time_s must be a number >= 0, got {time_s!r}"
+            )
+        time_s = float(time_s)
+        if time_s + 1e-9 < self._clock:
+            raise _RequestError(
+                "time_regression",
+                f"time_s {time_s:g} is before the service clock "
+                f"{self._clock:g}; events must arrive in order",
+            )
+        sid = payload.get("sid")
+        if op in _SID_OPS:
+            if isinstance(sid, bool) or not isinstance(sid, int):
+                raise _RequestError(
+                    "malformed", f"op {op!r} needs an integer sid, got {sid!r}"
+                )
+            pool = self._live.conference.num_sessions
+            if not 0 <= sid < pool:
+                raise _RequestError(
+                    "unknown_session",
+                    f"sid {sid} is outside the session pool [0, {pool})",
+                )
+        elif sid is not None:
+            raise _RequestError(
+                "malformed", f"op {op!r} does not take a sid"
+            )
+        return op, (sid if op in _SID_OPS else None), time_s
+
+    def _active_fault(self, time_s: float) -> Fault | None:
+        if self._faults is None:
+            return None
+        for fault in self._faults.faults:
+            if fault.start_s <= time_s < fault.end_s:
+                return fault
+        return None
+
+    def _check_fault_window(self, op: str, time_s: float) -> None:
+        fault = self._active_fault(time_s)
+        if fault is not None:
+            raise _RequestError(
+                "fault_window",
+                f"op {op!r} at t={time_s:g} lands inside the active "
+                f"{fault.kind} fault on site {fault.site} "
+                f"[{fault.start_s:g}, {fault.end_s:g}); retry after the "
+                "window clears",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Decisions                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, op: str, sid: int | None, time_s: float) -> dict:
+        if op in _MUTATING_OPS:
+            self._check_fault_window(op, time_s)
+        decision = getattr(self, f"_op_{op}")(sid)
+        self._clock = max(self._clock, time_s)
+        return decision
+
+    def _op_arrive(self, sid: int) -> dict:
+        live = self._live
+        if sid in live.active_sessions:
+            raise _RequestError(
+                "duplicate_session", f"session {sid} is already active"
+            )
+        fallback = False
+        try:
+            live.arrive(sid)
+        except InfeasibleError:
+            # From-scratch fallback: the whole-placement re-solve is
+            # computed before any state mutates, so a second
+            # infeasibility rejects the arrival with the live state
+            # exactly as it was.
+            try:
+                live.resolve_from_scratch(extra_sid=sid)
+            except InfeasibleError as error:
+                raise _RequestError(
+                    "infeasible",
+                    f"no feasible placement for session {sid}: {error}",
+                ) from error
+            fallback = True
+        refined = live.refine(sid, self._config.refine_hops)
+        decision = self._decision_for(sid)
+        decision["refined"] = refined
+        if fallback:
+            decision["fallback"] = True
+        return decision
+
+    def _op_depart(self, sid: int) -> dict:
+        live = self._live
+        if sid not in live.active_sessions:
+            raise _RequestError(
+                "inactive_session", f"session {sid} is not active"
+            )
+        if len(live.active_sessions) == 1:
+            raise _RequestError(
+                "empty_conference",
+                f"departing session {sid} would empty the conference",
+            )
+        live.depart(sid)
+        return {
+            "active": len(live.active_sessions),
+            "phi": live.total_phi(),
+        }
+
+    def _op_resize(self, sid: int) -> dict:
+        live = self._live
+        if sid not in live.active_sessions:
+            raise _RequestError(
+                "inactive_session", f"session {sid} is not active"
+            )
+        fallback = False
+        try:
+            live.resize(sid)
+        except InfeasibleError:
+            # resize() restored the previous placement, so the fallback
+            # re-solves from a consistent state; a second infeasibility
+            # again leaves everything untouched.
+            try:
+                live.resolve_from_scratch()
+            except InfeasibleError as error:
+                raise _RequestError(
+                    "infeasible",
+                    f"no feasible re-placement for session {sid}: {error}",
+                ) from error
+            fallback = True
+        refined = live.refine(sid, self._config.refine_hops)
+        decision = self._decision_for(sid)
+        decision["refined"] = refined
+        if fallback:
+            decision["fallback"] = True
+        return decision
+
+    def _op_resolve(self, _sid: None) -> dict:
+        try:
+            self._live.resolve_from_scratch()
+        except InfeasibleError as error:
+            raise _RequestError(
+                "infeasible", f"from-scratch re-solve failed: {error}"
+            ) from error
+        return {
+            "active": len(self._live.active_sessions),
+            "phi": self._live.total_phi(),
+        }
+
+    def _op_snapshot(self, _sid: None) -> dict:
+        live = self._live
+        assignment = live.assignment
+        conference = live.conference
+        users: dict[str, int] = {}
+        tasks: dict[str, int] = {}
+        for sid in live.active_sessions:
+            for uid in conference.session(sid).user_ids:
+                users[str(uid)] = assignment.agent_of(uid)
+            for i in conference.session_pair_indices(sid):
+                tasks[str(i)] = assignment.task_agent_of(i)
+        return {
+            "active_sids": live.active_sessions,
+            "users": users,
+            "tasks": tasks,
+            "phi": live.total_phi(),
+            "hops": live.hops,
+        }
+
+    def _op_metrics(self, _sid: None) -> dict:
+        return self._stats.snapshot()
+
+    def _decision_for(self, sid: int) -> dict:
+        """The deterministic placement decision for one session."""
+        live = self._live
+        assignment = live.assignment
+        conference = live.conference
+        return {
+            "placement": {
+                "users": {
+                    str(uid): assignment.agent_of(uid)
+                    for uid in conference.session(sid).user_ids
+                },
+                "tasks": {
+                    str(i): assignment.task_agent_of(i)
+                    for i in conference.session_pair_indices(sid)
+                },
+            },
+            "session_phi": live.context.session_cost(sid).phi,
+            "phi": live.total_phi(),
+            "active": len(live.active_sessions),
+        }
+
+
+def service_from_spec(
+    spec,
+    initial_sids: list[int] | None = None,
+    config: ServiceConfig | None = None,
+) -> PlacementService:
+    """Compile a fleet spec into a warm service.
+
+    The spec's own churn plan and sweep are cleared (a service is one
+    live conference, driven externally), exactly like ``repro trace
+    play``; its workload, solver, noise, fault and seed sections apply
+    unchanged.  ``initial_sids`` defaults to session 0 — the service
+    needs at least one live session to hold warm state.
+    """
+    import numpy as np
+
+    from repro.fleet.compile import compile_spec
+    from repro.fleet.spec import RunSpec
+
+    data = spec.to_dict()
+    data["churn"] = {}
+    data["sweep"] = {"replicates": 1, "axes": []}
+    compiled = compile_spec(RunSpec.from_dict(data))
+    sids = list(initial_sids) if initial_sids is not None else [0]
+    live = LiveConference.bootstrap(
+        compiled.evaluator,
+        sids,
+        markov=compiled.config.markov,
+        initial_policy=compiled.config.initial_policy,
+        agrank=compiled.config.agrank,
+        noise=compiled.noise,
+        rng=np.random.default_rng(compiled.config.seed),
+    )
+    return PlacementService(live, config=config, faults=compiled.faults)

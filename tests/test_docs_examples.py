@@ -319,3 +319,40 @@ class TestComparingFleetsWalkthrough:
         html_text = (tmp_path / "runs/cmp.html").read_text(encoding="utf-8")
         assert html_text.startswith("<!DOCTYPE html>")
         assert "<svg" in html_text and "polyline" in html_text
+
+
+class TestServeWalkthrough:
+    """The EXPERIMENTS.md serve-and-drive commands execute, and the
+    byte-identity claim the section makes holds: the in-process and
+    HTTP replays of one trace write identical decision logs."""
+
+    @pytest.fixture(scope="class")
+    def walkthrough(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        section = text.split("## Serve and drive", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        commands = fenced_repro_commands(section)
+        assert len(commands) == 3, commands
+        return commands
+
+    def test_walkthrough_executes(self, walkthrough, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        for command in walkthrough:
+            argv = shlex.split(command)[1:]
+            assert main(argv) == 0, f"walkthrough command failed: {command}"
+        inproc = (tmp_path / "runs/decisions.jsonl").read_bytes()
+        http = (tmp_path / "runs/decisions-http.jsonl").read_bytes()
+        assert inproc and inproc == http
+        records = [json.loads(line) for line in inproc.splitlines()]
+        assert all(r["status"] == "ok" for r in records)
+        assert all("latency_ms" not in r for r in records)
+        assert any("placement" in r for r in records)
+        metrics_lines = (
+            (tmp_path / "runs/service.jsonl")
+            .read_text(encoding="utf-8")
+            .splitlines()
+        )
+        assert metrics_lines  # --flush-every 2 over 6 decisions
+        assert json.loads(metrics_lines[-1])["errors"] == 0

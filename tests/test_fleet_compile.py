@@ -151,6 +151,52 @@ class TestExecute:
         b = execute_spec(small_prototype())
         assert a == b
 
+    def test_failed_unit_record_carries_traceback(self):
+        """One-bad-unit diagnostics: the error record keeps the formatted
+        traceback (schema-v5 envelope field), so a fleet failure is
+        diagnosable from results.jsonl alone."""
+        from repro.analysis.report import (
+            record_schema_version,
+            validate_record,
+        )
+        from repro.fleet.compile import execute_payload
+
+        bad = small_prototype().to_dict()
+        bad["workload"]["num_sessions"] = 0  # fails validation in-worker
+        record = execute_payload("unit-1", bad, axes={}, seed=3)
+        assert record["status"] == "error"
+        assert record["error"].startswith("SpecError")
+        assert "Traceback (most recent call last)" in record["traceback"]
+        assert "SpecError" in record["traceback"]
+        assert record["schema_version"] == 5
+        assert record_schema_version(record) == 5
+        validate_record(record)  # the field is schema-registered
+
+    def test_traceback_is_digest_volatile(self, tmp_path):
+        """Tracebacks name worker-specific frames, so the canonical
+        results digest must ignore them (backends still compare equal)."""
+        import json
+
+        from repro.analysis.report import canonical_results_digest
+        from repro.fleet.compile import execute_payload
+
+        bad = small_prototype().to_dict()
+        bad["workload"]["num_sessions"] = 0
+        record = execute_payload("unit-1", bad, axes={}, seed=3)
+        for out, mutate in (("a", False), ("b", True)):
+            out_dir = tmp_path / out
+            out_dir.mkdir()
+            shaped = dict(record)
+            if mutate:
+                shaped["traceback"] = "File worker.py, line 1\nboom"
+                shaped["wall_time_s"] = 123.0
+            (out_dir / "results.jsonl").write_text(
+                json.dumps(shaped, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        assert canonical_results_digest(
+            tmp_path / "a"
+        ) == canonical_results_digest(tmp_path / "b")
+
 
 class TestLibrary:
     def test_library_has_six_specs(self):

@@ -160,6 +160,30 @@ class TestValidation:
         with pytest.raises(SpecError, match="unknown cloud region"):
             TopologySpec(regions=("Atlantis",))
 
+    def test_unknown_region_keeps_cause_chain(self):
+        """The region check narrows to ModelError and chains the lookup
+        failure (``from error``, not ``from None``), so the diagnostic
+        shows *why* the catalog rejected the name."""
+        from repro.errors import ModelError
+
+        with pytest.raises(SpecError) as excinfo:
+            TopologySpec(regions=("Atlantis",))
+        assert isinstance(excinfo.value.__cause__, ModelError)
+        assert "Atlantis" in str(excinfo.value.__cause__)
+
+    def test_region_check_propagates_programming_errors(self, monkeypatch):
+        """A non-ModelError failure inside region() is a bug, not an
+        unknown region — it must surface as itself, never be rewritten
+        into the 'unknown cloud region' diagnostic."""
+        import repro.fleet.spec as spec_module
+
+        def boom(name):
+            raise RuntimeError("catalog corrupted")
+
+        monkeypatch.setattr(spec_module, "region", boom)
+        with pytest.raises(RuntimeError, match="catalog corrupted"):
+            TopologySpec(regions=("Frankfurt",))
+
     def test_unknown_user_site_rejected(self):
         with pytest.raises(SpecError, match="unknown user site"):
             TopologySpec(user_sites=("Gotham City",))

@@ -51,6 +51,51 @@ class TestMigrationModel:
         assert record.overhead_kb == 0.0
         assert record.interrupted
 
+    def test_teardown_task_move_never_interrupts(self, conf):
+        """Sec. V-A.1: transcoding tasks migrate at segment boundaries
+        (segmentation-based transcoding), so even without dual-feeding
+        a task move carries no user-visible interruption — only *user*
+        moves interrupt under instant teardown.  Either way teardown
+        prices zero overhead."""
+        model = MigrationModel(dual_feed=False)
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        record = model.price(conf, assignment, Move("task", 0, 0, 1), 0, 0.0)
+        assert record.overhead_kb == 0.0
+        assert not record.interrupted
+
+    def test_dual_feed_never_interrupts(self, conf):
+        """Dual-feeding is the whole point of Sec. V-A.1: with the
+        overlap in place neither move kind freezes frames."""
+        model = MigrationModel(overlap_ms=30.0)
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        for move in (Move("user", 0, 0, 1), Move("task", 0, 0, 1)):
+            assert not model.price(conf, assignment, move, 0, 0.0).interrupted
+
+    def test_paper_132_kb_anchor(self):
+        """The paper's literal 13.2 kb figure back-solves to a 0.44 Mbps
+        240p stream at the 30 ms overlap: 0.44 * 1000 * 0.030 = 13.2.
+        Pinning the formula against the quoted number documents where
+        our ladder's 0.4 Mbps (-> 12 kb) diverges from the paper's
+        encoder rate, not from its pricing model."""
+        assert 0.44 * 1000.0 * (30.0 / 1000.0) == pytest.approx(13.2)
+        conf240 = build_pair_conference("240p", "360p", "360p", "480p")
+        assignment = Assignment(np.array([0, 1]), np.full(conf240.theta_sum, 0))
+        record = MigrationModel(overlap_ms=30.0).price(
+            conf240, assignment, Move("user", 0, 0, 1), sid=0, time_s=0.0
+        )
+        bitrate = conf240.user(0).upstream.bitrate_mbps
+        assert record.overhead_kb == pytest.approx(bitrate * 30.0)
+
+    def test_overhead_scales_linearly_with_overlap(self, conf):
+        assignment = Assignment(np.array([0, 1]), np.array([0]))
+        move = Move("user", 0, 0, 1)
+        half = MigrationModel(overlap_ms=15.0).price(conf, assignment, move, 0, 0.0)
+        full = MigrationModel(overlap_ms=30.0).price(conf, assignment, move, 0, 0.0)
+        assert full.overhead_kb == pytest.approx(2.0 * half.overhead_kb)
+        assert MigrationModel(overlap_ms=0.0).price(
+            conf, assignment, move, 0, 0.0
+        ).overhead_kb == 0.0
+
     def test_negative_overlap_rejected(self):
         with pytest.raises(ModelError):
             MigrationModel(overlap_ms=-1.0)
