@@ -52,26 +52,36 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: Version 4 adds the optional resilience metric fields written by
 #: fault-injected runs (:data:`RESILIENCE_METRICS`).  Version 5 adds the
 #: optional ``traceback`` envelope field carried by failed-unit
-#: diagnostic records.  Every version-1/2/3/4 record is also a valid
-#: version-5 record.
+#: diagnostic records.  Version 6 adds the ``"unscheduled"`` status:
+#: units a spent ``execution.total_budget_s`` fleet budget never
+#: dispatched (first-class records, re-executed by an unbudgeted
+#: rerun).  Every version-1/2/3/4/5 record is also a valid version-6
+#: record.
 #:
 #: Writers stamp the *lowest* version that describes a record (see
 #: :func:`record_schema_version`), so a run without a ``faults:``
 #: section serializes bit-identically to output written before the
 #: fault layer existed.
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Statuses a record may carry: executed fine, executed-and-failed,
-#: killed by the per-unit wall-time budget, or abandoned by
-#: successive halving without executing.
-RECORD_STATUSES: tuple[str, ...] = ("ok", "error", "timeout", "pruned")
+#: killed by the per-unit wall-time budget, abandoned by successive
+#: halving without executing, or never dispatched because the fleet
+#: budget (``execution.total_budget_s``) ran out.
+RECORD_STATUSES: tuple[str, ...] = (
+    "ok", "error", "timeout", "pruned", "unscheduled"
+)
 
 #: Closed envelope shared by fleet and experiment records:
 #: ``name -> (accepted types, required?, provenance)``.
 ENVELOPE_FIELDS: dict[str, tuple[tuple[type, ...], bool, str]] = {
     "schema_version": ((int,), True, "record format version (this file)"),
     "name": ((str,), True, "spec / experiment name"),
-    "status": ((str,), True, '"ok", "error", "timeout" or "pruned"'),
+    "status": (
+        (str,),
+        True,
+        '"ok", "error", "timeout", "pruned" or "unscheduled"',
+    ),
     "error": ((str,), False, '"Type: message" when the unit did not finish'),
     "traceback": ((str,), False, "formatted worker traceback (volatile)"),
     "run_id": ((str,), False, "content-hash of the resolved spec (fleet)"),
@@ -150,13 +160,16 @@ _DIFF_IGNORED = ("description",)
 def record_schema_version(record: Mapping) -> int:
     """The lowest schema version that describes ``record``.
 
-    Only the ``traceback`` diagnostic needs version 5 and only the
-    resilience payload needs version 4; everything else — including
-    no-fault fleet metrics — is expressible at version 3.  Writers
-    stamp this value so enabling the fault layer (or attaching a
-    traceback to a failed unit) never perturbs the bytes of runs that
-    do not use them.
+    Only the ``"unscheduled"`` status needs version 6, only the
+    ``traceback`` diagnostic needs version 5 and only the resilience
+    payload needs version 4; everything else — including no-fault
+    fleet metrics — is expressible at version 3.  Writers stamp this
+    value so enabling the fault layer (or a fleet budget, or attaching
+    a traceback to a failed unit) never perturbs the bytes of runs
+    that do not use them.
     """
+    if record.get("status") == "unscheduled":
+        return 6
     if "traceback" in record:
         return 5
     if any(name in record for name in RESILIENCE_METRICS):
@@ -381,13 +394,21 @@ class FleetRun:
         return sum(1 for r in self.records if r.get("status") == "timeout")
 
     @property
+    def unscheduled(self) -> int:
+        """Units the spent fleet budget never dispatched."""
+        return sum(
+            1 for r in self.records if r.get("status") == "unscheduled"
+        )
+
+    @property
     def failed(self) -> int:
-        """Number of failed units (pruned units are not failures)."""
+        """Number of failed units (pruned/unscheduled are not failures)."""
         return (
             len(self.records)
             - len(self.ok_records)
             - self.pruned
             - self.timed_out
+            - self.unscheduled
         )
 
 
@@ -821,6 +842,8 @@ def render_run_report(run: FleetRun) -> str:
         counts.append(f"{run.pruned} pruned")
     if run.timed_out:
         counts.append(f"{run.timed_out} timed out")
+    if run.unscheduled:
+        counts.append(f"{run.unscheduled} unscheduled")
     lines = [
         f"{len(run.records)} runs recorded ({', '.join(counts)})",
         "",
@@ -879,16 +902,82 @@ def telemetry_breakdown(run_dir: str | Path) -> dict:
             "misses": misses,
             "hit_rate": (hits / total) if total else None,
         },
+        "dispatch": dispatch_stats(counters),
     }
+
+
+def dispatch_stats(counters: Mapping) -> list[tuple[str, str]]:
+    """Per-backend/per-host dispatch statistics from fleet counters.
+
+    Surfaces what the scheduler and the pool/remote backends counted
+    while dispatching: units per backend, scheduler retries, pruned and
+    unscheduled units, pool worker (re)spawns and the sticky-affinity
+    warm-cache hit rate, plus per-host unit/crash counts and the number
+    of quarantined hosts for remote fleets.  Returns ``(label, value)``
+    display rows; empty when the run recorded no dispatch counters
+    (e.g. a serial fleet without telemetry).
+    """
+    rows: list[tuple[str, str]] = []
+
+    def fmt(value: object) -> str:
+        return f"{value:g}" if isinstance(value, float) else str(value)
+
+    for kind in ("pool", "remote"):
+        units = counters.get(f"{kind}.units")
+        if units is not None:
+            rows.append((f"{kind} units dispatched", fmt(units)))
+        spawns = counters.get(f"{kind}.spawns")
+        if spawns is not None:
+            rows.append((f"{kind} worker spawns", fmt(spawns)))
+    affinity_hits = counters.get("pool.affinity_hits")
+    if affinity_hits is not None and counters.get("pool.units"):
+        rate = 100.0 * affinity_hits / counters["pool.units"]
+        rows.append(
+            (
+                "pool warm-cache (affinity) hits",
+                f"{fmt(affinity_hits)} ({rate:.1f}%)",
+            )
+        )
+    host_names = set()
+    for name in counters:
+        if name.startswith("remote.host."):
+            rest = name[len("remote.host."):]
+            for suffix in (".units", ".crashes"):
+                if rest.endswith(suffix):
+                    host_names.add(rest[: -len(suffix)])
+    hosts = sorted(host_names)
+    for host in hosts:
+        units = counters.get(f"remote.host.{host}.units", 0)
+        crashes = counters.get(f"remote.host.{host}.crashes", 0)
+        rows.append(
+            (
+                f"host {host!r}",
+                f"{fmt(units)} unit(s), {fmt(crashes)} crash(es)",
+            )
+        )
+    quarantines = counters.get("remote.quarantines")
+    if quarantines is not None:
+        rows.append(("hosts quarantined", fmt(quarantines)))
+    for name, label in (
+        ("scheduler.retries", "scheduler crash retries"),
+        ("scheduler.pruned", "units pruned by halving"),
+        ("scheduler.asha_promotions", "asynchronous rung promotions"),
+        ("scheduler.unscheduled", "units unscheduled by fleet budget"),
+    ):
+        value = counters.get(name)
+        if value is not None:
+            rows.append((label, fmt(value)))
+    return rows
 
 
 def render_telemetry_report(run_dir: str | Path) -> str:
     """Phase-time breakdown + counters of one instrumented fleet run.
 
-    Two tables: span paths with call counts, total seconds and the
-    share of the instrumented time (top-level spans only, so shares sum
-    to ~100 %), and the named counters with the substrate cache hit
-    rate called out.
+    Tables: span paths with call counts, total seconds and the share
+    of the instrumented time (top-level spans only, so shares sum to
+    ~100 %); the named counters; dispatch stats (per-backend/per-host
+    units, retries, quarantines, warm-cache hit rates) when the run
+    recorded any; and the substrate cache hit rate called out last.
     """
     breakdown = telemetry_breakdown(run_dir)
     timings: dict[str, dict] = breakdown["timings"]
@@ -924,6 +1013,15 @@ def render_telemetry_report(run_dir: str | Path) -> str:
             "",
             render_table(
                 ["counter", "value"], counter_rows, title="counters"
+            ),
+        ]
+    if breakdown["dispatch"]:
+        lines += [
+            "",
+            render_table(
+                ["dispatch", "value"],
+                [list(row) for row in breakdown["dispatch"]],
+                title="dispatch stats (backends, hosts, scheduler)",
             ),
         ]
     cache = breakdown["cache"]

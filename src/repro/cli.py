@@ -12,6 +12,9 @@ Examples::
     repro fleet run prototype_smoke --workers 2
     repro fleet run my_spec.yaml --out runs/my_spec
     repro fleet run prototype_smoke --backend subprocess --budget 60
+    repro fleet run prototype_smoke --backend pool --workers 4
+    repro fleet run prototype_smoke --backend remote --hosts h1,h2
+    repro fleet sweep beta_locality --replicates 4 --halving 1,2 --asha
     repro fleet sweep beta_locality --axis solver.beta=200,400 --replicates 3
     repro fleet sweep beta_locality --replicates 4 --halving 1,2
     repro fleet run prototype_smoke --telemetry --progress
@@ -136,12 +139,37 @@ def _build_parser() -> argparse.ArgumentParser:
             "execution.unit_timeout_s)",
         )
         sub.add_argument(
+            "--total-budget",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="fleet-level wall-clock allowance; once spent, the "
+            "scheduler stops dispatching and records remaining units "
+            "as status 'unscheduled' (default: the spec's "
+            "execution.total_budget_s)",
+        )
+        sub.add_argument(
             "--halving",
             default="",
             metavar="R1[,R2...]",
             help="successive-halving rungs: after each cumulative "
             "replicate count, keep the best ceil(n/eta) grid points "
             "and record the rest as status 'pruned'",
+        )
+        sub.add_argument(
+            "--asha",
+            action="store_true",
+            help="asynchronous successive halving: promote/prune grid "
+            "points the moment enough completed peers prove the "
+            "decision, instead of barriering per rung (records stay "
+            "byte-identical to synchronous halving)",
+        )
+        sub.add_argument(
+            "--hosts",
+            default="",
+            metavar="H1[,H2...]",
+            help="host inventory for the remote backend (sets "
+            "execution.hosts; use with --backend remote)",
         )
         sub.add_argument(
             "--no-resume",
@@ -528,7 +556,14 @@ def _run_fleet(args: argparse.Namespace) -> int:
         overrides[path] = _parse_scalar(value)
     axes = getattr(args, "axes", None)
     replicates = getattr(args, "replicates", None)
-    if overrides or axes or replicates is not None or args.halving:
+    if (
+        overrides
+        or axes
+        or replicates is not None
+        or args.halving
+        or args.asha
+        or args.hosts
+    ):
         data = spec.to_dict()
         if axes:
             data["sweep"]["axes"] = [
@@ -553,6 +588,14 @@ def _run_fleet(args: argparse.Namespace) -> int:
                     f"got {args.halving!r}"
                 ) from None
             data["execution"]["halving"]["rungs"] = rungs
+        if args.asha:
+            data["execution"]["halving"]["asynchronous"] = True
+        if args.hosts:
+            data["execution"]["hosts"] = [
+                host.strip()
+                for host in args.hosts.split(",")
+                if host.strip()
+            ]
         for path, value in overrides.items():
             apply_override(data, path, value)
         spec = type(spec).from_dict(data)
@@ -565,6 +608,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
         backend=args.backend,
         unit_timeout_s=args.budget,
         telemetry=True if args.telemetry else None,
+        total_budget_s=args.total_budget,
         progress=args.progress,
     )
     result = orchestrator.run(spec)

@@ -26,6 +26,7 @@ record's ``status``:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import deque
 from dataclasses import dataclass, field
 from typing import ClassVar, Iterator, Sequence
 
@@ -47,16 +48,25 @@ class RunPayload:
     #: Collect unit-scope telemetry (the worker embeds its span tree in
     #: the result record so it survives the pickle/JSON boundary).
     telemetry: bool = False
+    #: Dispatcher-side substrate-affinity key (see
+    #: :func:`repro.fleet.scheduler.substrate_affinity`): the pool
+    #: backend routes same-key payloads to the same persistent worker so
+    #: its in-process substrate cache stays warm.  Not part of the wire
+    #: format — workers never see it.
+    affinity: str = ""
 
     @classmethod
     def from_unit(cls, unit, telemetry: bool = False) -> "RunPayload":
         """The payload of one :class:`~repro.fleet.matrix.RunUnit`."""
+        from repro.fleet.scheduler import substrate_affinity
+
         return cls(
             run_id=unit.run_id,
             spec=unit.spec.to_dict(),
             axes=dict(unit.axes),
             seed=unit.seed,
             telemetry=telemetry,
+            affinity="|".join(map(str, substrate_affinity(unit))),
         )
 
     @property
@@ -131,7 +141,8 @@ class ExecutionBackend(ABC):
     :mod:`repro.fleet.backends.local`.)
     """
 
-    #: Registry name of the backend ("serial" / "local" / "subprocess").
+    #: Registry name of the backend ("serial" / "local" / "subprocess"
+    #: / "pool" / "remote").
     kind: ClassVar[str] = ""
 
     def __init__(self, workers: int = 1) -> None:
@@ -151,3 +162,43 @@ class ExecutionBackend(ABC):
         disables it); over-budget units come back as ``"timeout"``
         records, dead workers as ``"crashed"`` records.
         """
+
+    def execute_stream(
+        self,
+        source: "deque[RunPayload]",
+        timeout_s: float | None = None,
+    ) -> Iterator[dict]:
+        """Drain a *live* queue of payloads, yielding records.
+
+        Unlike :meth:`execute`'s fixed batch, ``source`` belongs to the
+        caller and may grow between yielded records — the scheduler
+        appends crash retries and asynchronous-halving promotions while
+        the stream runs.  The stream ends when ``source`` is empty and
+        nothing is in flight at a yield point.
+
+        This default drains the queue in chunks of up to ``workers``
+        payloads per :meth:`execute` call, so every backend supports
+        streaming; the pool/remote backends override it to feed workers
+        one payload at a time with no chunk barrier.
+        """
+        chunk_size = max(1, self.workers)
+        while source:
+            chunk = [
+                source.popleft()
+                for _ in range(min(len(source), chunk_size))
+            ]
+            yield from self.execute(chunk, timeout_s)
+
+    def close(self) -> None:
+        """Release backend resources (persistent workers, hosts).
+
+        Idempotent; the scheduler closes every backend it creates —
+        including on error paths — so pool/remote workers are always
+        reaped.  Backends without long-lived state inherit this no-op.
+        """
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,135 @@
+"""Remote backend: pool workers spread over a host inventory.
+
+This is the pool backend pointed at other machines: every entry of
+``execution.hosts`` gets ``execution.workers`` persistent loop workers,
+each spawned through the ``execution.worker_cmd`` template with
+``{host}`` substituted (``ssh {host} python -m
+repro.fleet.backends.worker --loop`` is the canonical shape; the empty
+default runs the bundled loop worker locally, which is what CI uses to
+pin remote-vs-serial byte equivalence without real hosts).  The framed
+stdin/stdout protocol is transport-agnostic, so anything that forwards
+stdio — ssh, ``docker exec``, a scheduler shim — works unchanged.
+
+Dispatch is *least-loaded*: idle workers are offered payloads in order
+of their host's busy fraction, so a slow or half-quarantined host never
+starves the fast ones.  Failure handling adds one policy on top of the
+pool's respawn-and-retry: a host whose workers crash
+``execution.quarantine_after`` consecutive units is **quarantined** —
+its workers are drained (in-flight units come back as ``"crashed"``
+records, which the scheduler's retry machinery re-dispatches to the
+surviving hosts) and nothing is scheduled on it again for the fleet's
+lifetime.  A single flaky unit does not quarantine a host: any
+completed round-trip (an ``"ok"`` *or* ``"error"`` record) resets the
+host's consecutive-crash counter.
+
+When every host is quarantined the remaining units are returned as
+``"crashed"`` records until the scheduler's retries are exhausted, so
+a dead cluster degrades into ordinary per-unit error records instead
+of a hang.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import repro.telemetry as tele
+from repro.errors import SpecError
+from repro.fleet.backends.base import RunPayload
+from repro.fleet.backends.pool import (
+    PoolBackend,
+    _LoopWorker,
+    resolve_worker_cmd,
+)
+
+
+class RemoteBackend(PoolBackend):
+    """Least-loaded multi-host pool with failure-aware quarantine."""
+
+    kind = "remote"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        hosts: Sequence[str] = (),
+        worker_cmd: str = "",
+        quarantine_after: int = 3,
+    ) -> None:
+        if not hosts:
+            raise SpecError(
+                "remote backend needs a non-empty host inventory "
+                "(execution.hosts)"
+            )
+        if quarantine_after < 1:
+            raise SpecError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
+        super().__init__(workers=workers)
+        self.hosts = [str(host) for host in hosts]
+        self.worker_cmd_template = worker_cmd
+        self.quarantine_after = quarantine_after
+        #: host -> consecutive crashed units (reset by any round-trip).
+        self._consecutive: dict[str, int] = {h: 0 for h in self.hosts}
+        self._quarantined: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # Pool hooks                                                         #
+    # ------------------------------------------------------------------ #
+
+    def _make_workers(self) -> list[_LoopWorker]:
+        """``workers`` slots per host, each with the host's command."""
+        slots = []
+        for host in self.hosts:
+            cmd = resolve_worker_cmd(self.worker_cmd_template, host=host)
+            for _ in range(max(1, self.workers)):
+                slots.append(_LoopWorker(len(slots), cmd, host=host))
+        return slots
+
+    def _usable(self, worker: _LoopWorker) -> bool:
+        return worker.host not in self._quarantined
+
+    def _stalled_detail(self) -> str:
+        return (
+            f"all hosts quarantined "
+            f"({sorted(self._quarantined)}); no capacity remains"
+        )
+
+    def _idle_order(self, idle: list[_LoopWorker]) -> list[_LoopWorker]:
+        """Least-loaded first: order idle slots by their host's busy count."""
+        busy_per_host: dict[str, int] = {}
+        for worker in self._pool:
+            if worker.inflight is not None:
+                busy_per_host[worker.host] = (
+                    busy_per_host.get(worker.host, 0) + 1
+                )
+        return sorted(
+            idle, key=lambda w: (busy_per_host.get(w.host, 0), w.index)
+        )
+
+    def _pick(
+        self, worker: _LoopWorker, source: "deque[RunPayload]"
+    ) -> RunPayload | None:
+        """FIFO — cross-host stickiness would fight load balance."""
+        return source.popleft()
+
+    def _after_record(self, worker: _LoopWorker, record: dict) -> None:
+        """Any completed round-trip clears the host's crash streak."""
+        self._consecutive[worker.host] = 0
+
+    def _after_crash(
+        self, worker: _LoopWorker
+    ) -> tuple[bool, list[_LoopWorker]]:
+        """Count the crash; quarantine and drain the host at the limit."""
+        host = worker.host
+        self._consecutive[host] = self._consecutive.get(host, 0) + 1
+        if (
+            host not in self._quarantined
+            and self._consecutive[host] >= self.quarantine_after
+        ):
+            self._quarantined.add(host)
+            tele.count("remote.quarantines")
+            casualties = [
+                w for w in self._pool if w.host == host and w is not worker
+            ]
+            return False, casualties
+        return host not in self._quarantined, []

@@ -25,12 +25,13 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import select
 import subprocess
 import sys
 import tempfile
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterator, Sequence
 
@@ -42,8 +43,14 @@ from repro.fleet.backends.base import (
     timeout_record,
 )
 
-#: Poll interval of the dispatch loop.
-_POLL_S = 0.02
+#: Adaptive poll bounds of the no-pidfd fallback path: start at the
+#: floor after any progress, back off toward the ceiling while idle.
+_POLL_MIN_S = 0.001
+_POLL_MAX_S = 0.02
+
+#: Cap on one exit-wait, so deadline enforcement stays prompt even when
+#: the platform offers no exit notification.
+_WAIT_CAP_S = 0.5
 
 #: Characters of stderr quoted in crash diagnostics.
 _STDERR_EXCERPT = 400
@@ -81,11 +88,17 @@ class _Worker:
     err: IO[bytes]
     started: float
     deadline: float | None
+    #: Linux pidfd of the worker (selectable for exact exit wakeup);
+    #: None where ``os.pidfd_open`` is unavailable.
+    pidfd: int | None = field(default=None)
 
     def close(self) -> None:
-        """Release the spooled output files."""
+        """Release the spooled output files (and the pidfd, if any)."""
         self.out.close()
         self.err.close()
+        if self.pidfd is not None:
+            os.close(self.pidfd)
+            self.pidfd = None
 
     def kill(self) -> None:
         """Terminate the worker and release its resources."""
@@ -125,6 +138,12 @@ class SubprocessBackend(ExecutionBackend):
             process.stdin.close()
         except (BrokenPipeError, OSError):
             pass  # worker died before reading; classified at reap time
+        pidfd = None
+        if hasattr(os, "pidfd_open"):
+            try:
+                pidfd = os.pidfd_open(process.pid)
+            except OSError:
+                pidfd = None  # already exited, or kernel too old
         started = time.monotonic()
         return _Worker(
             process=process,
@@ -133,6 +152,7 @@ class SubprocessBackend(ExecutionBackend):
             err=err,
             started=started,
             deadline=started + timeout_s if timeout_s else None,
+            pidfd=pidfd,
         )
 
     def _reap(self, worker: _Worker, wall: float) -> dict:
@@ -158,6 +178,32 @@ class SubprocessBackend(ExecutionBackend):
             detail = f"{detail}; stderr: {excerpt}"
         return crash_record(worker.payload, detail, wall)
 
+    @staticmethod
+    def _wait_for_exit(active: list[_Worker], idle_poll: float) -> float:
+        """Block until a worker may have exited; return the next backoff.
+
+        On Linux every worker carries a pidfd, which selects readable
+        the instant its process exits — reap latency is then
+        syscall-bounded instead of poll-bounded, which is what makes
+        short units cheap (see ``bench_fleet.py``'s dispatch-latency
+        bench).  Where pidfds are unavailable the loop falls back to an
+        adaptive sleep that starts at the poll floor after any progress
+        and backs off toward the ceiling while idle.  Either wait is
+        capped by the nearest unit deadline so timeout kills stay
+        prompt.
+        """
+        now = time.monotonic()
+        horizon = _WAIT_CAP_S
+        for worker in active:
+            if worker.deadline is not None:
+                horizon = min(horizon, max(0.0, worker.deadline - now))
+        fds = [w.pidfd for w in active if w.pidfd is not None]
+        if fds and len(fds) == len(active):
+            select.select(fds, [], [], horizon)
+            return _POLL_MIN_S
+        time.sleep(min(idle_poll, horizon))
+        return min(idle_poll * 2, _POLL_MAX_S)
+
     def execute(
         self,
         payloads: Sequence[RunPayload],
@@ -168,6 +214,7 @@ class SubprocessBackend(ExecutionBackend):
         pending = deque(payloads)
         active: list[_Worker] = []
         batch_start = time.monotonic()
+        idle_poll = _POLL_MIN_S
         try:
             while pending or active:
                 while pending and len(active) < workers:
@@ -191,8 +238,10 @@ class SubprocessBackend(ExecutionBackend):
                             worker.payload, timeout_s, now - worker.started
                         )
                         progressed = True
-                if not progressed:
-                    time.sleep(_POLL_S)
+                if progressed:
+                    idle_poll = _POLL_MIN_S
+                elif active:
+                    idle_poll = self._wait_for_exit(active, idle_poll)
         finally:
             for worker in active:
                 worker.kill()

@@ -1,4 +1,4 @@
-"""Worker entry of the subprocess backend.
+"""Worker entry of the subprocess/pool/remote backends.
 
 ``python -m repro.fleet.backends.worker`` reads one pickled payload
 (the ``RunPayload.to_wire()`` dict) from stdin, executes it through the
@@ -8,6 +8,15 @@ writes the resulting record to stdout as one JSON document.  Exit code
 records for units that failed to compile or simulate; any other exit
 code (or unreadable output) is classified by the dispatcher as a
 worker crash.
+
+``--loop`` switches to the persistent framed protocol of the pool and
+remote backends: the worker serves *many* payloads over one process
+lifetime, each message a 4-byte big-endian length prefix followed by
+exactly that many bytes (pickled payload dict in, UTF-8 JSON record
+out, one frame per unit).  Interpreter startup and ``repro`` imports
+are paid once per worker instead of once per unit, and the in-process
+substrate cache stays warm across same-substrate units.  A clean EOF
+on stdin ends the loop with exit code 0.
 """
 
 from __future__ import annotations
@@ -15,20 +24,81 @@ from __future__ import annotations
 import json
 import pickle
 import sys
+from typing import BinaryIO
+
+#: Bytes of the big-endian frame length prefix.
+FRAME_HEADER_LEN = 4
+
+#: Upper bound on one frame's body; a larger header is protocol
+#: corruption (a desynced stream), not a real payload.
+MAX_FRAME_LEN = 1 << 29
 
 
-def main() -> int:
-    """Read payload from stdin, write the result record to stdout."""
-    payload = pickle.load(sys.stdin.buffer)
+def write_frame(stream: BinaryIO, data: bytes) -> None:
+    """Write one length-prefixed frame and flush it."""
+    if len(data) > MAX_FRAME_LEN:
+        raise ValueError(f"frame of {len(data)} bytes exceeds protocol max")
+    stream.write(len(data).to_bytes(FRAME_HEADER_LEN, "big"))
+    stream.write(data)
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> bytes | None:
+    """Read one frame; None on clean EOF at a frame boundary.
+
+    EOF mid-frame (a truncated header or body) raises ``EOFError`` —
+    the peer died mid-write, which dispatchers classify as a crash.
+    """
+    header = stream.read(FRAME_HEADER_LEN)
+    if not header:
+        return None
+    if len(header) < FRAME_HEADER_LEN:
+        raise EOFError("stream ended inside a frame header")
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME_LEN:
+        raise EOFError(f"frame header announces {length} bytes; stream desynced")
+    data = stream.read(length)
+    if len(data) < length:
+        raise EOFError("stream ended inside a frame body")
+    return data
+
+
+def _execute(payload: dict) -> dict:
+    """One payload dict through the shared worker entry."""
     from repro.fleet.compile import execute_payload
 
-    record = execute_payload(
+    return execute_payload(
         payload["run_id"],
         payload["spec"],
         payload["axes"],
         payload["seed"],
         telemetry=bool(payload.get("telemetry", False)),
     )
+
+
+def serve_loop(stdin: BinaryIO, stdout: BinaryIO) -> int:
+    """Serve framed payloads until EOF (the pool/remote worker loop)."""
+    # Pay the import up front, while the dispatcher is still framing the
+    # first payload — this is the startup cost the pool amortizes.
+    from repro.fleet.compile import execute_payload  # noqa: F401
+
+    while True:
+        data = read_frame(stdin)
+        if data is None:
+            return 0
+        record = _execute(pickle.loads(data))
+        write_frame(stdout, json.dumps(record, sort_keys=True).encode("utf-8"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Single-shot by default; ``--loop`` serves framed payloads."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args == ["--loop"]:
+        return serve_loop(sys.stdin.buffer, sys.stdout.buffer)
+    if args:
+        print(f"unknown worker argument(s): {args}", file=sys.stderr)
+        return 2
+    record = _execute(pickle.load(sys.stdin.buffer))
     json.dump(record, sys.stdout, sort_keys=True)
     sys.stdout.write("\n")
     return 0

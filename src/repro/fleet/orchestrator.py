@@ -63,6 +63,9 @@ class FleetResult:
     pruned: int = 0
     #: Units killed by the per-unit budget (``status: "timeout"``).
     timed_out: int = 0
+    #: Units the spent fleet budget (``execution.total_budget_s``)
+    #: never dispatched (``status: "unscheduled"``).
+    unscheduled: int = 0
 
     @property
     def results_path(self) -> Path:
@@ -98,6 +101,8 @@ class FleetResult:
             counts.append(f"{self.pruned} pruned")
         if self.timed_out:
             counts.append(f"{self.timed_out} timed out")
+        if self.unscheduled:
+            counts.append(f"{self.unscheduled} unscheduled")
         lines = [
             f"fleet {self.spec.name!r}: {len(self.records)} runs "
             f"({', '.join(counts)})",
@@ -113,9 +118,11 @@ class FleetOrchestrator:
 
     Constructor arguments override the spec's ``execution:`` section
     (None defers to the spec): ``backend`` picks the dispatch mechanism
-    (``serial`` / ``local`` / ``subprocess``), ``workers`` the pool
-    size, ``unit_timeout_s`` the per-unit wall-time budget and
-    ``max_retries`` the crash re-dispatch count.
+    (``serial`` / ``local`` / ``subprocess`` / ``pool`` / ``remote``),
+    ``workers`` the pool size, ``unit_timeout_s`` the per-unit
+    wall-time budget, ``max_retries`` the crash re-dispatch count and
+    ``total_budget_s`` the fleet-level wall-clock allowance (spent →
+    remaining units persist as ``status: "unscheduled"``).
     """
 
     def __init__(
@@ -127,6 +134,7 @@ class FleetOrchestrator:
         unit_timeout_s: float | None = None,
         max_retries: int | None = None,
         telemetry: bool | None = None,
+        total_budget_s: float | None = None,
         progress: bool = False,
     ) -> None:
         if workers is not None and workers < 0:
@@ -139,6 +147,10 @@ class FleetOrchestrator:
             raise SpecError(
                 f"unit_timeout_s must be >= 0, got {unit_timeout_s}"
             )
+        if total_budget_s is not None and total_budget_s < 0:
+            raise SpecError(
+                f"total_budget_s must be >= 0, got {total_budget_s}"
+            )
         self._out_dir = Path(out_dir)
         self._workers = workers
         self._resume = resume
@@ -146,6 +158,7 @@ class FleetOrchestrator:
         self._unit_timeout_s = unit_timeout_s
         self._max_retries = max_retries
         self._telemetry = telemetry
+        self._total_budget_s = total_budget_s
         self._progress = progress
 
     # Kept as a static alias: dispatch ordering lives in the scheduler,
@@ -275,6 +288,7 @@ class FleetOrchestrator:
                     unit_timeout_s=self._unit_timeout_s,
                     max_retries=self._max_retries,
                     telemetry=self._telemetry,
+                    total_budget_s=self._total_budget_s,
                     on_progress=ticker.update if ticker is not None else None,
                 )
                 if collector is not None:
@@ -307,7 +321,7 @@ class FleetOrchestrator:
             status = record.get("status")
             if status == "timeout":
                 timed_out += 1
-            elif status not in ("ok", "pruned"):
+            elif status not in ("ok", "pruned", "unscheduled"):
                 failed += 1
             records.append(record)
         self._rewrite_results(records)
@@ -315,11 +329,17 @@ class FleetOrchestrator:
             spec=spec,
             records=records,
             executed=outcome.executed,
-            skipped=len(units) - outcome.executed - outcome.pruned,
+            skipped=(
+                len(units)
+                - outcome.executed
+                - outcome.pruned
+                - outcome.unscheduled
+            ),
             failed=failed,
             out_dir=self._out_dir,
             pruned=outcome.pruned,
             timed_out=timed_out,
+            unscheduled=outcome.unscheduled,
         )
         (self._out_dir / SUMMARY_FILENAME).write_text(
             result.summary_table() + "\n", encoding="utf-8"

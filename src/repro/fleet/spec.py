@@ -53,7 +53,9 @@ TRACE_HOLDING_KINDS: tuple[str, ...] = HOLDING_KINDS
 LADDER_NAMES: tuple[str, ...] = ("360p", "480p", "720p", "1080p")
 
 #: Execution backends the orchestrator can dispatch run units through.
-BACKEND_KINDS: tuple[str, ...] = ("serial", "local", "subprocess")
+BACKEND_KINDS: tuple[str, ...] = (
+    "serial", "local", "subprocess", "pool", "remote"
+)
 
 #: Metrics a successive-halving rung may rank grid points by (all
 #: lower-is-better; see ``repro.analysis.report.LOWER_IS_BETTER``).
@@ -748,6 +750,12 @@ class HalvingSpec:
     eta: float = 2.0
     #: Ranking metric (lower is better).
     metric: str = "phi"
+    #: Promote points rung-to-rung as soon as enough *completed* peers
+    #: rank provably behind them (ASHA-style streaming), instead of
+    #: barriering on whole rungs.  The promotion rule is conservative:
+    #: the surviving points — and their records — are byte-identical to
+    #: the synchronous plan, only the wall-clock schedule changes.
+    asynchronous: bool = False
 
     def __post_init__(self) -> None:
         _coerce_declared_scalars(self)
@@ -784,10 +792,13 @@ class ExecutionSpec:
     """
 
     #: Dispatch mechanism: "serial" (in-process), "local"
-    #: (multiprocessing pool) or "subprocess" (self-contained worker
-    #: commands, the stepping stone to SSH/container backends).
+    #: (multiprocessing pool), "subprocess" (one self-contained worker
+    #: command per unit), "pool" (persistent framed-protocol workers
+    #: spawned once per fleet) or "remote" (pool workers spread over an
+    #: ``hosts`` inventory via ``worker_cmd`` templating).
     backend: str = "local"
-    #: Concurrent workers (<= 1 runs serially even on "local").
+    #: Concurrent workers (<= 1 runs serially even on "local"; for
+    #: "remote" this is the worker count *per host*).
     workers: int = 1
     #: Per-unit wall-time budget in seconds; 0 disables the budget.
     #: Over-budget units are recorded as ``status: "timeout"``.
@@ -795,6 +806,21 @@ class ExecutionSpec:
     #: Re-dispatches after a worker crash before the unit is recorded
     #: as failed.
     max_retries: int = 1
+    #: Fleet-level wall-clock allowance in seconds; 0 disables it.
+    #: Once spent, the scheduler stops dispatching and persists the
+    #: remaining units as first-class ``status: "unscheduled"`` records
+    #: (a later unbudgeted rerun completes them via the resume cache).
+    total_budget_s: float = 0.0
+    #: Host inventory of the "remote" backend (required for it).
+    hosts: tuple[str, ...] = ()
+    #: Worker command template for "pool"/"remote" workers; ``{host}``
+    #: is substituted per host (e.g. ``ssh {host} python -m
+    #: repro.fleet.backends.worker --loop``).  Empty runs the bundled
+    #: loop worker under the current interpreter.
+    worker_cmd: str = ""
+    #: "remote" only: consecutive crashes on one host before it is
+    #: quarantined (drained; its in-flight units retried elsewhere).
+    quarantine_after: int = 3
     #: Collect span/counter telemetry (``telemetry.jsonl`` + the
     #: ``timings``/``counters`` envelope block).  Off by default: the
     #: disabled path is a zero-allocation no-op and results are
@@ -821,6 +847,27 @@ class ExecutionSpec:
         if self.max_retries < 0:
             raise SpecError(
                 f"execution.max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.total_budget_s < 0 or math.isinf(self.total_budget_s):
+            raise SpecError(
+                f"execution.total_budget_s must be finite and >= 0, "
+                f"got {self.total_budget_s}"
+            )
+        if self.quarantine_after < 1:
+            raise SpecError(
+                f"execution.quarantine_after must be >= 1, "
+                f"got {self.quarantine_after}"
+            )
+        for host in self.hosts:
+            if not isinstance(host, str) or not host.strip():
+                raise SpecError(
+                    f"execution.hosts entries must be non-empty strings, "
+                    f"got {host!r}"
+                )
+        if self.backend == "remote" and not self.hosts:
+            raise SpecError(
+                "execution.backend 'remote' needs a non-empty "
+                "execution.hosts inventory (e.g. hosts: [localhost])"
             )
 
 

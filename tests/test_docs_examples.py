@@ -196,6 +196,69 @@ class TestBudgetedSweepWalkthrough:
         assert [r["status"] for r in sub] == ["ok"]
 
 
+class TestClusterSweepWalkthrough:
+    """The EXPERIMENTS.md cluster-sweep commands actually execute, and
+    the pool/remote/ASHA/budget claims the section makes hold."""
+
+    @pytest.fixture(scope="class")
+    def walkthrough(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        section = text.split("## Cluster sweeps", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        commands = fenced_repro_commands(section)
+        assert len(commands) == 5, commands
+        return commands
+
+    def test_walkthrough_executes(
+        self, walkthrough, tmp_path, monkeypatch, capsys
+    ):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        for command in walkthrough:
+            argv = shlex.split(command)[1:]
+            assert main(argv) == 0, f"walkthrough command failed: {command}"
+
+        def records(name):
+            path = tmp_path / "runs" / name / "results.jsonl"
+            return [
+                json.loads(line)
+                for line in path.read_text(encoding="utf-8").splitlines()
+            ]
+
+        pooled = records("pooled")
+        assert len(pooled) == 8
+        assert [r["status"] for r in pooled] == ["ok"] * 8
+        # The remote run (localhost inventory) produced a clean record.
+        remote = records("remote")
+        assert [r["status"] for r in remote] == ["ok"]
+        # ASHA prunes the same units as the synchronous plan would, and
+        # its surviving records are bit-identical to the full pooled run.
+        asha = records("asha")
+        assert len(asha) == 8
+        statuses = [r["status"] for r in asha]
+        assert statuses.count("ok") == 6 and statuses.count("pruned") == 2
+        by_id = {r["run_id"]: r for r in pooled}
+        # The pooled run embeds telemetry (`--telemetry`); drop the same
+        # volatile fields canonical_results_digest does.
+        volatile = {"wall_time_s", "counters", "timings", "attempts"}
+        strip = lambda r: {k: v for k, v in r.items() if k not in volatile}
+        for record in asha:
+            if record["status"] == "ok":
+                assert strip(record) == strip(by_id[record["run_id"]])
+        # The starved sweep dispatched nothing: first-class unscheduled
+        # records, counted apart from failures.
+        starved = records("starved")
+        assert [r["status"] for r in starved] == ["unscheduled"] * 8
+        assert all(r["schema_version"] == 6 for r in starved)
+        assert all("FleetBudget" in r["error"] for r in starved)
+        # The report renders the dispatch-stats table for the pool run.
+        out = capsys.readouterr().out
+        assert "dispatch stats" in out
+        assert "pool units dispatched" in out
+        assert "pool warm-cache (affinity) hits" in out
+
+
 class TestProfilingSweepWalkthrough:
     """The EXPERIMENTS.md profiling commands execute and the telemetry
     artifacts they describe exist and parse."""

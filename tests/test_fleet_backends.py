@@ -300,7 +300,7 @@ class TestSubprocessFailurePaths:
         monkeypatch.setattr(
             scheduler_module,
             "create_backend",
-            lambda kind, workers=1: SubprocessBackend(
+            lambda kind, workers=1, **_: SubprocessBackend(
                 workers=workers, worker_cmd=worker_cmd
             ),
         )

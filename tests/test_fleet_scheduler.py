@@ -1,5 +1,6 @@
 """Fleet scheduler: successive-halving early abort (fewer units than
 the full grid, surviving aggregates identical to an unbudgeted run),
+asynchronous halving's byte-identity guarantee, fleet-level budgets,
 execution-spec validation/sweepability, and scheduling determinism."""
 
 import json
@@ -7,7 +8,10 @@ import math
 
 import pytest
 
+from repro.analysis.report import canonical_results_digest
 from repro.errors import SpecError
+from repro.fleet.backends.base import crash_record
+from repro.fleet.backends.serial import SerialBackend
 from repro.fleet.matrix import expand_matrix
 from repro.fleet.orchestrator import FleetOrchestrator
 from repro.fleet.scheduler import FleetScheduler, substrate_affinity
@@ -348,3 +352,279 @@ class TestSchedulerMechanics:
         assert [u.replicate for u in units[:4]] == [0, 1, 0, 1]
         points = {u.point for u in units}
         assert len(points) == 4
+
+
+class TestClusterExecutionSpec:
+    def test_new_fields_round_trip(self):
+        execution = ExecutionSpec(
+            backend="remote",
+            hosts=("node1", "node2"),
+            worker_cmd="ssh {host} python -m repro.fleet.backends.worker --loop",
+            quarantine_after=2,
+            total_budget_s=3600.0,
+            halving=HalvingSpec(rungs=(1,), asynchronous=True),
+        )
+        spec = grid_spec(execution=execution)
+        assert RunSpec.from_yaml(spec.to_yaml()) == spec
+
+    def test_invalid_cluster_knobs_rejected(self):
+        with pytest.raises(SpecError, match="total_budget_s"):
+            ExecutionSpec(total_budget_s=-1.0)
+        with pytest.raises(SpecError, match="total_budget_s"):
+            ExecutionSpec(total_budget_s=math.inf)
+        with pytest.raises(SpecError, match="quarantine_after"):
+            ExecutionSpec(quarantine_after=0)
+        with pytest.raises(SpecError, match="hosts"):
+            ExecutionSpec(hosts=("node1", ""))
+        with pytest.raises(SpecError, match="hosts"):
+            ExecutionSpec(backend="remote")
+
+
+class _PoisonMetricBackend(SerialBackend):
+    """Serial execution with one run's metric rewritten to NaN."""
+
+    def __init__(self, poison_run_id: str) -> None:
+        super().__init__()
+        self.poison_run_id = poison_run_id
+
+    def execute(self, payloads, timeout_s=None):
+        for record in super().execute(payloads, timeout_s):
+            if record.get("run_id") == self.poison_run_id:
+                record = {**record, "phi": math.nan}
+            yield record
+
+
+class _AlwaysCrashBackend(SerialBackend):
+    """Serial execution with one unit crashing on every attempt."""
+
+    def __init__(self, crash_run_id: str) -> None:
+        super().__init__()
+        self.crash_run_id = crash_run_id
+
+    def execute(self, payloads, timeout_s=None):
+        for payload in payloads:
+            if payload.run_id == self.crash_run_id:
+                yield crash_record(payload, "synthetic crash", 0.0)
+            else:
+                yield from super().execute([payload], timeout_s)
+
+
+class TestAsyncHalving:
+    def asha_spec(self, replicates: int = 2, rungs=(1,)) -> RunSpec:
+        return grid_spec(
+            execution=ExecutionSpec(
+                halving=HalvingSpec(rungs=rungs, asynchronous=True)
+            ),
+            replicates=replicates,
+        )
+
+    def sync_spec(self, replicates: int = 2, rungs=(1,)) -> RunSpec:
+        return grid_spec(
+            execution=ExecutionSpec(halving=HalvingSpec(rungs=rungs)),
+            replicates=replicates,
+        )
+
+    def test_asha_byte_identical_to_sync_single_rung(self, tmp_path):
+        sync = FleetOrchestrator(tmp_path / "sync").run(self.sync_spec())
+        asha = FleetOrchestrator(tmp_path / "asha").run(self.asha_spec())
+        assert asha.executed == sync.executed == 6
+        assert asha.pruned == sync.pruned == 2
+        assert canonical_results_digest(
+            tmp_path / "asha"
+        ) == canonical_results_digest(tmp_path / "sync")
+
+    def test_asha_byte_identical_to_sync_multi_rung(self, tmp_path):
+        sync = FleetOrchestrator(tmp_path / "sync").run(
+            self.sync_spec(replicates=4, rungs=(1, 2))
+        )
+        asha = FleetOrchestrator(tmp_path / "asha").run(
+            self.asha_spec(replicates=4, rungs=(1, 2))
+        )
+        assert asha.executed == sync.executed == 8
+        assert asha.pruned == sync.pruned == 8
+        assert canonical_results_digest(
+            tmp_path / "asha"
+        ) == canonical_results_digest(tmp_path / "sync")
+
+    @pytest.mark.parametrize(
+        "backend", ["serial", "local", "subprocess", "pool"]
+    )
+    def test_asha_agrees_across_backends(self, tmp_path, backend):
+        """The byte-identity guarantee holds on every backend — record
+        arrival order varies wildly between them, the decisions must
+        not."""
+        result = FleetOrchestrator(
+            tmp_path / backend, backend=backend, workers=2
+        ).run(self.asha_spec())
+        assert result.executed == 6 and result.pruned == 2
+        reference = tmp_path / "reference"
+        FleetOrchestrator(reference, backend="serial").run(self.sync_spec())
+        assert canonical_results_digest(
+            tmp_path / backend
+        ) == canonical_results_digest(reference)
+
+    def test_asha_resumes_from_cache_like_sync(self, tmp_path):
+        out = tmp_path / "out"
+        first = FleetOrchestrator(out).run(self.asha_spec())
+        again = FleetOrchestrator(out).run(self.asha_spec())
+        assert again.executed == 0
+        assert again.pruned == first.pruned
+        assert [r["status"] for r in again.records] == [
+            r["status"] for r in first.records
+        ]
+
+    def test_nan_metric_prunes_identically_sync_and_async(
+        self, tmp_path, monkeypatch
+    ):
+        """The non-finite guard and ASHA's unknown-score handling
+        compose: a NaN metric scores worst (never poisons the ranking)
+        and both plans prune the same point."""
+        from repro.fleet import scheduler as scheduler_module
+
+        poison = expand_matrix(grid_spec())[0].run_id  # beta=100, rep 0
+        monkeypatch.setattr(
+            scheduler_module,
+            "create_backend",
+            lambda kind, workers=1, **_: _PoisonMetricBackend(poison),
+        )
+        results = {}
+        for label, spec in (
+            ("sync", self.sync_spec()),
+            ("asha", self.asha_spec()),
+        ):
+            results[label] = FleetOrchestrator(tmp_path / label).run(spec)
+            pruned_betas = {
+                r["axes"]["solver.beta"]
+                for r in results[label].records
+                if r["status"] == "pruned"
+            }
+            assert 100 in pruned_betas, label
+        assert canonical_results_digest(
+            tmp_path / "sync"
+        ) == canonical_results_digest(tmp_path / "asha")
+
+    def test_retry_exhaustion_prunes_identically_sync_and_async(
+        self, tmp_path, monkeypatch
+    ):
+        """A unit crashing through all its retries becomes an error
+        record, scores inf, and is pruned — the same way on both
+        plans (the retry/promotion interaction)."""
+        from repro.fleet import scheduler as scheduler_module
+
+        crash = expand_matrix(grid_spec())[0].run_id
+        monkeypatch.setattr(
+            scheduler_module,
+            "create_backend",
+            lambda kind, workers=1, **_: _AlwaysCrashBackend(crash),
+        )
+        for label, spec in (
+            ("sync", self.sync_spec()),
+            ("asha", self.asha_spec()),
+        ):
+            result = FleetOrchestrator(
+                tmp_path / label, max_retries=1
+            ).run(spec)
+            by_status = {}
+            for record in result.records:
+                by_status.setdefault(record["status"], []).append(record)
+            assert len(by_status["error"]) == 1, label
+            assert by_status["error"][0]["attempts"] == 2, label
+            pruned_betas = {
+                r["axes"]["solver.beta"] for r in by_status["pruned"]
+            }
+            assert 100 in pruned_betas, label
+        assert canonical_results_digest(
+            tmp_path / "sync"
+        ) == canonical_results_digest(tmp_path / "asha")
+
+    def test_asha_counts_promotions(self, tmp_path):
+        from repro.telemetry import load_run_telemetry
+
+        out = tmp_path / "out"
+        FleetOrchestrator(out, telemetry=True).run(self.asha_spec())
+        counters = load_run_telemetry(out).fleet["counters"]
+        # 4 points, keep 2: exactly the survivors promote out of rung 0.
+        assert counters["scheduler.asha_promotions"] == 2
+
+
+class TestFleetBudget:
+    def test_spent_budget_unschedules_everything(self, tmp_path):
+        out = tmp_path / "out"
+        result = FleetOrchestrator(
+            out, backend="serial", total_budget_s=1e-9
+        ).run(grid_spec())
+        assert result.executed == 0 and result.failed == 0
+        assert result.unscheduled == len(result.records) == 8
+        for record in result.records:
+            assert record["status"] == "unscheduled"
+            assert record["schema_version"] == 6
+            assert "FleetBudget" in record["error"]
+            assert "total_budget_s" in record["error"]
+
+    def test_unscheduled_is_not_failed_in_report(self, tmp_path):
+        result = FleetOrchestrator(
+            tmp_path / "out", backend="serial", total_budget_s=1e-9
+        ).run(grid_spec())
+        headline = result.format_report().splitlines()[0]
+        assert "8 unscheduled" in headline
+        assert "0 failed" in headline
+
+        from repro.analysis.report import load_fleet_run, render_run_report
+
+        run = load_fleet_run(tmp_path / "out")
+        assert run.unscheduled == 8 and run.failed == 0
+        assert "8 unscheduled" in render_run_report(run)
+
+    def test_unbudgeted_rerun_completes_unscheduled_units(self, tmp_path):
+        """Unscheduled records are never cached, so rerunning without
+        the budget executes exactly the starved units."""
+        out = tmp_path / "out"
+        starved = FleetOrchestrator(
+            out, backend="serial", total_budget_s=1e-9
+        ).run(grid_spec())
+        assert starved.unscheduled == 8
+        completed = FleetOrchestrator(out, backend="serial").run(grid_spec())
+        assert completed.executed == 8 and completed.unscheduled == 0
+        assert all(r["status"] == "ok" for r in completed.records)
+
+    def test_ample_budget_changes_nothing(self, tmp_path):
+        out = tmp_path / "out"
+        result = FleetOrchestrator(
+            out, backend="serial", total_budget_s=3600.0
+        ).run(grid_spec())
+        assert result.executed == 8 and result.unscheduled == 0
+        reference = tmp_path / "reference"
+        FleetOrchestrator(reference, backend="serial").run(grid_spec())
+        assert canonical_results_digest(out) == canonical_results_digest(
+            reference
+        )
+
+    @pytest.mark.parametrize("asynchronous", [False, True])
+    def test_budget_starved_halving_unschedules_not_prunes(
+        self, tmp_path, asynchronous
+    ):
+        """When the budget dies mid-halving, un-run replicates are a
+        resource decision (unscheduled), never a ranking decision
+        (pruned on a starved rung)."""
+        spec = grid_spec(
+            execution=ExecutionSpec(
+                halving=HalvingSpec(
+                    rungs=(1,), asynchronous=asynchronous
+                ),
+                total_budget_s=1e-9,
+            )
+        )
+        result = FleetOrchestrator(tmp_path / "out").run(spec)
+        assert result.executed == 0 and result.pruned == 0
+        assert result.unscheduled == 8
+
+    def test_spec_budget_round_trips_and_cli_override_wins(self, tmp_path):
+        spec = grid_spec(
+            execution=ExecutionSpec(total_budget_s=1e-9)
+        )
+        assert RunSpec.from_yaml(spec.to_yaml()) == spec
+        # The orchestrator override replaces the spec's budget.
+        result = FleetOrchestrator(
+            tmp_path / "out", backend="serial", total_budget_s=3600.0
+        ).run(spec)
+        assert result.executed == 8 and result.unscheduled == 0
